@@ -1,0 +1,47 @@
+// Ablation (design-choice study, not a paper artifact): how the
+// availability of indexes on selection columns changes the cost landscape
+// and the greedy search's inlining decisions. Section 5.3(b) of the paper
+// observes that highly selective predicates make lean, non-inlined
+// relations attractive "especially in the presence of appropriate indexes";
+// this bench quantifies that in our cost model.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/search.h"
+
+using namespace legodb;
+
+int main() {
+  std::printf(
+      "Ablation: effect of predicate-column indexes on lookup costs and on\n"
+      "the configuration chosen by the greedy search.\n\n");
+  xs::Schema annotated = bench::AnnotatedImdb();
+  core::Workload lookup = bench::Unwrap(imdb::MakeWorkload("lookup"), "wl");
+
+  TablePrinter table({"indexes on predicates", "ALL-INLINED cost",
+                      "searched cost", "searched tables",
+                      "search iterations"});
+  for (bool with_indexes : {false, true}) {
+    opt::CostParams params;
+    params.index_on_predicates = with_indexes;
+    xs::Schema inlined = ps::AllInlined(annotated);
+    double inlined_cost =
+        bench::Unwrap(core::CostSchema(inlined, lookup, params), "cost")
+            .total;
+    core::SearchResult sr = bench::Unwrap(
+        core::GreedySearch(annotated, lookup, params,
+                           core::GreedySoOptions()),
+        "search");
+    table.AddRow({with_indexes ? "yes" : "no", FormatDouble(inlined_cost, 0),
+                  FormatDouble(sr.best_cost, 0),
+                  std::to_string(sr.best_schema.size()),
+                  std::to_string(sr.trace.size() - 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nWith predicate indexes, selections probe instead of scan, so wide\n"
+      "inlined relations lose their scan penalty and the gap between\n"
+      "ALL-INLINED and the searched configuration narrows.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation (Section-7 extension): how update operations in the workload
+// shift the storage design. Sweeps the update weight mixed into the lookup
+// workload and reports the cost of ALL-INLINED, ALL-OUTLINED and the
+// searched configuration, plus how many types the searched design keeps.
+//
+// Observed shape: subtree inserts (a whole show with its akas/reviews)
+// favor inlined designs — one wide row beats many narrow rows each paying
+// per-index maintenance — so the searched configuration inlines more as
+// updates dominate (table count drops), and ALL-OUTLINED falls far behind.
+// At extreme update weights the greedy search (which cannot inline
+// multi-valued content) lands slightly above ALL-INLINED, showing the cost
+// ceiling of the restricted move set.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/search.h"
+
+using namespace legodb;
+
+int main() {
+  std::printf(
+      "Ablation: update operations in the workload (insert show / insert\n"
+      "review / insert played credit), sweeping the update share.\n\n");
+  xs::Schema annotated = bench::AnnotatedImdb();
+  core::Workload lookup = bench::Unwrap(imdb::MakeWorkload("lookup"), "wl");
+  opt::CostParams params;
+
+  TablePrinter table({"update weight", "ALL-INLINED", "ALL-OUTLINED",
+                      "searched", "searched/inlined", "searched tables"});
+  for (double update_weight : {0.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    core::Workload mixed = lookup;
+    if (update_weight > 0) {
+      mixed.AddUpdate("insert_show", core::UpdateOp::Kind::kInsert,
+                      "imdb/show", update_weight);
+      mixed.AddUpdate("insert_review", core::UpdateOp::Kind::kInsert,
+                      "imdb/show/reviews", update_weight * 3);
+      mixed.AddUpdate("insert_played", core::UpdateOp::Kind::kInsert,
+                      "imdb/actor/played", update_weight * 3);
+    }
+    double inlined = bench::Unwrap(
+        core::CostSchema(ps::AllInlined(annotated), mixed, params), "cost")
+                         .total;
+    double outlined = bench::Unwrap(
+        core::CostSchema(ps::AllOutlined(annotated), mixed, params), "cost")
+                          .total;
+    core::SearchResult searched = bench::Unwrap(
+        core::GreedySearch(annotated, mixed, params, core::GreedySoOptions()),
+        "search");
+    table.AddRow({FormatDouble(update_weight, 0), FormatDouble(inlined, 0),
+                  FormatDouble(outlined, 0),
+                  FormatDouble(searched.best_cost, 0),
+                  FormatDouble(searched.best_cost / inlined),
+                  std::to_string(searched.best_schema.size())});
+  }
+  table.Print();
+  return 0;
+}

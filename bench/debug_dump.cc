@@ -1,0 +1,58 @@
+// Developer utility: dumps the relational configurations and translated SQL
+// for the three Figure-4 storage maps. Not a paper artifact, but useful for
+// inspecting what the mapping engine produces.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "optimizer/optimizer.h"
+#include "translate/translate.h"
+#include "xquery/parser.h"
+
+using namespace legodb;
+
+int main() {
+  const char* extra_stats = R"(
+(["imdb";"show";"reviews";"nyt"], STcnt(2812));
+(["imdb";"show";"reviews";"TILDE"], STcnt(8438));
+)";
+  xs::Schema raw = bench::RawImdb();
+  xs::StatsSet stats = bench::ImdbStats(extra_stats);
+
+  struct Config {
+    const char* name;
+    xs::Schema schema;
+  };
+  Config configs[] = {
+      {"MAP1 all-inlined", bench::AllInlinedConfig(raw, stats)},
+      {"MAP2 wildcard", bench::WildcardConfig(raw, stats)},
+      {"MAP3 union-distributed",
+       bench::UnionDistributedConfig(raw, stats)},
+  };
+  for (const auto& c : configs) {
+    std::printf("==== %s ====\n%s\n", c.name, c.schema.ToString().c_str());
+    auto mapping = bench::Unwrap(map::MapSchema(c.schema), "map");
+    std::printf("%s\n", mapping.catalog().ToDdl().c_str());
+    for (const char* qn : {"S2Q1", "S2Q3"}) {
+      auto q = bench::Unwrap(xq::ParseQuery(imdb::QueryText(qn)), "parse");
+      auto rq = xlat::TranslateQuery(q, mapping);
+      if (!rq.ok()) {
+        std::printf("-- %s: %s\n", qn, rq.status().ToString().c_str());
+        continue;
+      }
+      std::printf("-- %s (%zu blocks):\n%s\n", qn, rq->blocks.size(),
+                  rq->ToSql().c_str());
+      opt::Optimizer o(mapping.catalog());
+      auto planned = o.PlanQuery(rq.value());
+      if (planned.ok()) {
+        std::printf("-- cost %.1f\n", planned->total_cost);
+        for (size_t i = 0; i < planned->blocks.size(); ++i) {
+          std::printf("%s",
+                      planned->blocks[i]
+                          .plan->ToString(rq->blocks[i])
+                          .c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Figure 6: estimated costs of the Section-2 queries Q1-Q4 and
+// workloads W1/W2 on the three storage maps of Figure 4, normalized by
+// Storage Map 1 (all-inlined).
+//
+// Paper reference (Figure 6):
+//            Map1   Map2   Map3
+//   Q1       1.00   0.83   1.27
+//   Q2       1.00   0.50   0.48
+//   Q3       1.00   1.00   0.17
+//   Q4       1.00   1.19   0.40
+//   W1       1.00   0.75   0.75
+//   W2       1.00   1.01   0.40
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+using namespace legodb;
+
+int main() {
+  std::printf(
+      "Figure 6: estimated costs of queries and workloads on the three\n"
+      "storage maps of Figure 4, normalized by Storage Map 1.\n\n");
+
+  // The paper assumes a noticeable NYT share among reviews; Appendix A has
+  // no per-source counts, so we fix 25%% NYT (Table 2's middle setting).
+  const char* extra_stats = R"(
+(["imdb";"show";"reviews";"nyt"], STcnt(2812));
+(["imdb";"show";"reviews";"nyt"], STsize(800));
+(["imdb";"show";"reviews";"TILDE"], STcnt(8438));
+)";
+  xs::Schema raw = bench::RawImdb();
+  xs::StatsSet stats = bench::ImdbStats(extra_stats);
+
+  xs::Schema map1 = bench::AllInlinedConfig(raw, stats);
+  xs::Schema map2 = bench::WildcardConfig(raw, stats);
+  xs::Schema map3 = bench::UnionDistributedConfig(raw, stats);
+
+  opt::CostParams params;
+  const char* queries[] = {"S2Q1", "S2Q2", "S2Q3", "S2Q4"};
+  std::vector<std::vector<double>> costs;  // per query: map1..map3
+  for (const char* q : queries) {
+    costs.push_back({bench::QueryCost(map1, q, params),
+                     bench::QueryCost(map2, q, params),
+                     bench::QueryCost(map3, q, params)});
+  }
+  // W1/W2 weights over Q1..Q4 (Section 2).
+  double w1[] = {0.4, 0.4, 0.1, 0.1};
+  double w2[] = {0.1, 0.1, 0.4, 0.4};
+  std::vector<double> w1_cost(3, 0), w2_cost(3, 0);
+  for (int m = 0; m < 3; ++m) {
+    for (int q = 0; q < 4; ++q) {
+      w1_cost[m] += w1[q] * costs[q][m];
+      w2_cost[m] += w2[q] * costs[q][m];
+    }
+  }
+
+  TablePrinter table({"", "Storage Map 1", "Storage Map 2", "Storage Map 3",
+                      "paper (1/2/3)"});
+  const char* paper[] = {"1.00 / 0.83 / 1.27", "1.00 / 0.50 / 0.48",
+                         "1.00 / 1.00 / 0.17", "1.00 / 1.19 / 0.40",
+                         "1.00 / 0.75 / 0.75", "1.00 / 1.01 / 0.40"};
+  auto add_row = [&](const std::string& label,
+                     const std::vector<double>& row, const char* ref) {
+    table.AddRow({label, FormatDouble(row[0] / row[0]),
+                  FormatDouble(row[1] / row[0]),
+                  FormatDouble(row[2] / row[0]), ref});
+  };
+  for (int q = 0; q < 4; ++q) {
+    add_row("Q" + std::to_string(q + 1), costs[q], paper[q]);
+  }
+  add_row("W1", w1_cost, paper[4]);
+  add_row("W2", w2_cost, paper[5]);
+  table.Print();
+  return 0;
+}

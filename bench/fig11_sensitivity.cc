@@ -1,0 +1,72 @@
+// Reproduces Figure 11: sensitivity of configurations to workload shifts.
+// Workloads mix lookup and publish queries in ratio k:(1-k). Configurations
+// C[0.25], C[0.50], C[0.75] are tuned by the greedy search at those mixes
+// and then evaluated across the whole spectrum, alongside the ALL-INLINED
+// heuristic configuration and OPT (a fresh search at every k).
+//
+// Paper reference: C[0.25] tracks OPT on the publish-heavy region and
+// C[0.75] on the lookup-heavy region, crossing at k ~ 0.55 at a small
+// angle; ALL-INLINED is 2x-5x worse than OPT.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/search.h"
+
+using namespace legodb;
+
+namespace {
+
+core::Workload MixAt(double k) {
+  static core::Workload lookup =
+      bench::Unwrap(imdb::MakeWorkload("lookup"), "lookup");
+  static core::Workload publish =
+      bench::Unwrap(imdb::MakeWorkload("publish"), "publish");
+  return core::Workload::Mix(lookup, publish, k);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 11: cost across the lookup-fraction spectrum k (cost of a\n"
+      "configuration = weighted per-query cost of the k:(1-k) mix),\n"
+      "normalized by OPT at each k.\n\n");
+  xs::Schema annotated = bench::AnnotatedImdb();
+  opt::CostParams params;
+
+  auto tune = [&](double k) {
+    return bench::Unwrap(core::GreedySearch(annotated, MixAt(k), params,
+                                            core::GreedySoOptions()),
+                         "greedy search")
+        .best_schema;
+  };
+  xs::Schema c25 = tune(0.25);
+  xs::Schema c50 = tune(0.50);
+  xs::Schema c75 = tune(0.75);
+  xs::Schema all_inlined = ps::AllInlined(annotated);
+
+  std::vector<double> ks = {0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.55,
+                            0.6, 0.7, 0.8, 0.9, 1.0};
+  TablePrinter table({"k", "C[0.25]", "C[0.50]", "C[0.75]", "ALL-INLINED",
+                      "OPT (abs cost)"});
+  for (double k : ks) {
+    core::Workload mix = MixAt(k);
+    auto cost = [&](const xs::Schema& config) {
+      return bench::Unwrap(core::CostSchema(config, mix, params), "cost")
+          .total;
+    };
+    double opt = cost(tune(k));
+    table.AddRow({FormatDouble(k), FormatDouble(cost(c25) / opt),
+                  FormatDouble(cost(c50) / opt),
+                  FormatDouble(cost(c75) / opt),
+                  FormatDouble(cost(all_inlined) / opt),
+                  FormatDouble(opt, 0)});
+  }
+  table.Print();
+  std::printf(
+      "\n(1.00 in a column means that configuration is optimal at that "
+      "k.)\n");
+  return 0;
+}

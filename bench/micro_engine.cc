@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks of the substrate components: XML
+// parsing, validation, shredding, reconstruction, and query execution.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "engine/executor.h"
+#include "imdb/imdb.h"
+#include "mapping/mapping.h"
+#include "optimizer/optimizer.h"
+#include "storage/reconstruct.h"
+#include "storage/shredder.h"
+#include "translate/translate.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xquery/parser.h"
+#include "xschema/validator.h"
+
+namespace {
+
+using namespace legodb;
+
+imdb::ImdbScale SmallScale() {
+  imdb::ImdbScale scale;
+  scale.shows = 100;
+  scale.directors = 40;
+  scale.actors = 60;
+  return scale;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  std::string text = xml::Serialize(imdb::Generate(SmallScale()));
+  for (auto _ : state) {
+    auto doc = xml::ParseDocument(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_Validate(benchmark::State& state) {
+  xml::Document doc = imdb::Generate(SmallScale());
+  xs::Schema schema = bench::RawImdb();
+  for (auto _ : state) {
+    Status st = xs::ValidateDocument(doc, schema);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_Validate);
+
+void BM_Shred(benchmark::State& state) {
+  xml::Document doc = imdb::Generate(SmallScale());
+  xs::Schema config = ps::Normalize(bench::AnnotatedImdb());
+  auto mapping = bench::Unwrap(map::MapSchema(config), "map");
+  for (auto _ : state) {
+    store::Database db(mapping.catalog());
+    Status st = store::ShredDocument(doc, mapping, &db);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_Shred);
+
+void BM_Reconstruct(benchmark::State& state) {
+  xml::Document doc = imdb::Generate(SmallScale());
+  xs::Schema config = ps::Normalize(bench::AnnotatedImdb());
+  auto mapping = bench::Unwrap(map::MapSchema(config), "map");
+  store::Database db(mapping.catalog());
+  bench::Check(store::ShredDocument(doc, mapping, &db), "shred");
+  for (auto _ : state) {
+    auto rebuilt = store::ReconstructDocument(&db, mapping);
+    benchmark::DoNotOptimize(rebuilt);
+  }
+}
+BENCHMARK(BM_Reconstruct);
+
+void BM_ExecuteLookup(benchmark::State& state) {
+  xml::Document doc = imdb::Generate(SmallScale());
+  xs::Schema config = ps::AllInlined(bench::AnnotatedImdb());
+  auto mapping = bench::Unwrap(map::MapSchema(config), "map");
+  store::Database db(mapping.catalog());
+  bench::Check(store::ShredDocument(doc, mapping, &db), "shred");
+  auto query = bench::Unwrap(xq::ParseQuery(imdb::QueryText("Q1")), "parse");
+  auto rq = bench::Unwrap(xlat::TranslateQuery(query, mapping), "translate");
+  opt::Optimizer optimizer(mapping.catalog());
+  auto planned = bench::Unwrap(optimizer.PlanQuery(rq), "plan");
+  std::vector<opt::PhysicalPlanPtr> plans;
+  for (const auto& b : planned.blocks) plans.push_back(b.plan);
+  std::map<std::string, Value> params = {{"c1", Value::Str("title1")}};
+  for (auto _ : state) {
+    engine::Executor exec(&db, params);
+    auto result = exec.ExecuteQuery(rq, plans);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecuteLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces Table 2: cost of "find the NYTimes reviews for all shows
+// produced in 1999" on the all-inlined configuration (Query 1: join with
+// the single reviews table, selecting on the tag column) vs the
+// wildcard-transformed configuration (Query 2: join with the dedicated
+// nyt_reviews table), while the NYT share of reviews and the total review
+// count vary.
+//
+// Paper reference (Table 2):
+//   total=10,000:  inlined 5.42 constant; wild 6.3 / 5.1 / 4.4
+//   total=100,000: inlined 48 constant;   wild 26.3 / 15 / 9.4
+// i.e. the inlined cost is independent of the NYT share, while the
+// wildcard-transformed cost shrinks with the nyt_reviews table.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+using namespace legodb;
+
+int main() {
+  std::printf(
+      "Table 2: all-inlined vs wildcard-transformed cost for the NYT-review\n"
+      "lookup, varying total reviews and NYT share.\n\n");
+  xs::Schema raw = bench::RawImdb();
+  opt::CostParams params;
+
+  for (int64_t total : {10000L, 100000L}) {
+    std::printf("total reviews = %lld\n", static_cast<long long>(total));
+    TablePrinter table({"NYT share", "inlined", "wild", "wild/inlined"});
+    for (double share : {0.5, 0.25, 0.125}) {
+      int64_t nyt = static_cast<int64_t>(static_cast<double>(total) * share);
+      std::string extra =
+          "([\"imdb\";\"show\";\"reviews\"], STcnt(" + std::to_string(total) +
+          "));\n([\"imdb\";\"show\";\"reviews\";\"nyt\"], STcnt(" +
+          std::to_string(nyt) +
+          "));\n([\"imdb\";\"show\";\"reviews\";\"nyt\"], STsize(800));\n" +
+          "([\"imdb\";\"show\";\"reviews\";\"TILDE\"], STcnt(" +
+          std::to_string(total - nyt) + "));\n";
+      xs::StatsSet stats = bench::ImdbStats(extra);
+      xs::Schema inlined = bench::AllInlinedConfig(raw, stats);
+      xs::Schema wild = bench::WildcardConfig(raw, stats);
+      double ci = bench::QueryCost(inlined, "S2Q1", params);
+      double cw = bench::QueryCost(wild, "S2Q1", params);
+      table.AddRow({FormatDouble(100 * share, 1) + "%", FormatDouble(ci, 0),
+                    FormatDouble(cw, 0), FormatDouble(cw / ci)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

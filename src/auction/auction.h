@@ -1,0 +1,54 @@
+#ifndef LEGODB_AUCTION_AUCTION_H_
+#define LEGODB_AUCTION_AUCTION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/workload.h"
+#include "xml/dom.h"
+#include "xschema/schema.h"
+
+namespace legodb::auction {
+
+// A second application domain beyond the paper's IMDB: an XMark-style
+// online-auction site (people with optional profiles, open auctions with
+// bid histories, closed auctions with wildcard annotations, categories).
+// Demonstrates that the mapping engine is not specialized to one schema and
+// exercises deeper optional nesting than IMDB.
+const char* SchemaText();
+
+StatusOr<xs::Schema> Schema();
+
+// Canned queries, XMark-inspired:
+//   "A1"  person by id (name, email)
+//   "A2"  current price of open auctions above a bound (range predicate)
+//   "A3"  bidders of one auction (nested collection lookup)
+//   "A4"  sellers' person records joined via reference value (value join)
+//   "A5"  income of people interested in a given category
+//   "A6"  publish all open auctions
+//   "A7"  publish one person by id
+//   "A8"  closed-auction annotations from a given source (wildcard step)
+const char* QueryText(const std::string& name);
+
+// Workloads: "bidding" (interactive lookups A1-A5, A8) and "export"
+// (publishing A6, A7).
+StatusOr<core::Workload> MakeWorkload(const std::string& name);
+
+struct AuctionScale {
+  int people = 100;
+  int open_auctions = 60;
+  int closed_auctions = 40;
+  int categories = 10;
+  double bids_per_auction = 4.0;
+  double profile_prob = 0.6;
+  double address_prob = 0.7;
+  double interests_per_profile = 1.5;
+  uint64_t seed = 7;
+};
+
+// Generates a document valid under Schema().
+xml::Document Generate(const AuctionScale& scale);
+
+}  // namespace legodb::auction
+
+#endif  // LEGODB_AUCTION_AUCTION_H_

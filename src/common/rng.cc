@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+namespace legodb {
+
+uint64_t Rng::Next() {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t Rng::Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string Rng::RandomString(size_t len) {
+  std::string s(len, 'a');
+  for (size_t i = 0; i < len; ++i) {
+    s[i] = static_cast<char>('a' + Uniform(26));
+  }
+  return s;
+}
+
+}  // namespace legodb

@@ -1,0 +1,42 @@
+#ifndef LEGODB_COMMON_RNG_H_
+#define LEGODB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace legodb {
+
+// Deterministic pseudo-random number generator (xorshift64*) so synthetic
+// data generation and property tests are reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull)
+      : state_(seed ? seed : 1) {}
+
+  uint64_t Next();
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Random lowercase ASCII string of exactly `len` characters.
+  std::string RandomString(size_t len);
+
+  // Picks one of `n` buckets; used for selecting among distinct values.
+  uint64_t Bucket(uint64_t n) { return Uniform(n); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace legodb
+
+#endif  // LEGODB_COMMON_RNG_H_

@@ -1,0 +1,115 @@
+#ifndef LEGODB_COMMON_STATUS_H_
+#define LEGODB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace legodb {
+
+// Result of an operation that can fail. Error handling follows the
+// RocksDB/LevelDB idiom: no exceptions cross module boundaries; fallible
+// functions return Status (or StatusOr<T> below).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kParseError,
+    kUnsupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// an error result aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace legodb
+
+// Propagates a non-OK Status from an expression to the caller.
+#define LEGODB_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::legodb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+// Evaluates a StatusOr expression, assigning the value to `lhs` or returning
+// the error. `lhs` may include a declaration, e.g. `auto x`.
+#define LEGODB_ASSIGN_OR_RETURN(lhs, expr)                         \
+  LEGODB_ASSIGN_OR_RETURN_IMPL_(                                   \
+      LEGODB_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+#define LEGODB_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                  \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+#define LEGODB_STATUS_CONCAT_(a, b) LEGODB_STATUS_CONCAT_IMPL_(a, b)
+#define LEGODB_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // LEGODB_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef LEGODB_COMMON_STR_UTIL_H_
+#define LEGODB_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace legodb {
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Joins `pieces` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// True if `s` is a (possibly signed) decimal integer literal.
+bool IsInteger(std::string_view s);
+
+}  // namespace legodb
+
+#endif  // LEGODB_COMMON_STR_UTIL_H_

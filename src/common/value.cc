@@ -1,0 +1,43 @@
+#include "common/value.h"
+
+#include <functional>
+
+namespace legodb {
+
+size_t Value::ByteSize() const {
+  if (is_null()) return 1;
+  if (is_int()) return 8;
+  return as_string().size();
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  return as_string();
+}
+
+bool Value::operator<(const Value& other) const {
+  auto rank = [](const Rep& r) { return r.index(); };
+  if (rank(rep_) != rank(other.rep_)) return rank(rep_) < rank(other.rep_);
+  if (is_null()) return false;
+  if (is_int()) return as_int() < other.as_int();
+  return as_string() < other.as_string();
+}
+
+int Value::Compare(const Value& other) const {
+  if (*this == other) return 0;
+  return *this < other ? -1 : 1;
+}
+
+bool Value::Comparable(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  return (is_int() && other.is_int()) || (is_string() && other.is_string());
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  if (v.is_null()) return 0x9e3779b97f4a7c15ull;
+  if (v.is_int()) return std::hash<int64_t>()(v.as_int());
+  return std::hash<std::string>()(v.as_string());
+}
+
+}  // namespace legodb

@@ -1,0 +1,65 @@
+#ifndef LEGODB_COMMON_VALUE_H_
+#define LEGODB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace legodb {
+
+// A scalar runtime value flowing through the storage and execution engines:
+// SQL NULL, a 64-bit integer, or a string. The paper's type system has only
+// Integer and String scalars; NULL arises from optional content (Table 1).
+class Value {
+ public:
+  Value() : rep_(Null{}) {}
+  static Value MakeNull() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<Null>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  // Approximate storage footprint in bytes; used by execution-work counters.
+  size_t ByteSize() const;
+
+  // Renders the value for display; NULL renders as "NULL".
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  // Total order used for deterministic result comparison in tests:
+  // NULL < ints < strings.
+  bool operator<(const Value& other) const;
+
+  // Three-way comparison in the same total order (-1, 0, +1). Values of
+  // different kinds are ordered by kind; predicate evaluation additionally
+  // checks kind equality (see Comparable).
+  int Compare(const Value& other) const;
+  // True when both values are non-null and of the same kind, i.e. an
+  // ordered comparison between them is meaningful.
+  bool Comparable(const Value& other) const;
+
+ private:
+  struct Null {
+    bool operator==(const Null&) const { return true; }
+  };
+  using Rep = std::variant<Null, int64_t, std::string>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+// Hash support so Values can key hash indexes.
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+}  // namespace legodb
+
+#endif  // LEGODB_COMMON_VALUE_H_

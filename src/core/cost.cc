@@ -1,0 +1,182 @@
+#include "core/cost.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/str_util.h"
+#include "optimizer/optimizer.h"
+#include "translate/translate.h"
+
+namespace legodb::core {
+
+StatusOr<double> CostQuery(const map::Mapping& mapping, const xq::Query& query,
+                           const opt::CostParams& params) {
+  LEGODB_ASSIGN_OR_RETURN(opt::RelQuery rq,
+                          xlat::TranslateQuery(query, mapping));
+  opt::Optimizer optimizer(mapping.catalog(), params);
+  LEGODB_ASSIGN_OR_RETURN(opt::PlannedQuery planned,
+                          optimizer.PlanQuery(rq));
+  return planned.total_cost;
+}
+
+namespace {
+
+// A resolved position of an update path: the concrete type whose table is
+// touched, and whether the final step crossed into that type (outlined
+// target) or stayed within its inlined content.
+struct UpdateTarget {
+  std::string type;
+  bool outlined = false;
+};
+
+// Lightweight path resolution over the mapping (a simplified version of the
+// translator's navigation: no joins or predicates are built, only the set
+// of types the path can land in).
+void ResolveStep(const map::Mapping& m, const UpdateTarget& pos,
+                 const map::RelPath& rel_path, const std::string& step,
+                 std::vector<std::pair<UpdateTarget, map::RelPath>>* out) {
+  const map::TypeMapping& tm = m.GetType(pos.type);
+  // Inline continuation: scan for components extending the current path
+  // whose base matches the step (literally or via a wildcard position).
+  std::set<std::string> comps;
+  auto scan = [&](const map::RelPath& p) {
+    if (p.size() > rel_path.size() &&
+        std::equal(rel_path.begin(), rel_path.end(), p.begin())) {
+      comps.insert(p[rel_path.size()]);
+    }
+  };
+  for (const auto& slot : tm.slots) scan(slot.path);
+  for (const auto& child : tm.children) scan(child.path);
+  for (const auto& comp : comps) {
+    std::string base = map::BaseStep(comp);
+    if (base == step || base == "~") {
+      map::RelPath next = rel_path;
+      next.push_back(comp);
+      out->push_back({UpdateTarget{pos.type, false}, next});
+    }
+  }
+  // Crossing into child types referenced at this position.
+  std::function<void(const std::string&, int)> enter =
+      [&](const std::string& child, int depth) {
+        if (depth > 8) return;
+        const map::TypeMapping& ctm = m.GetType(child);
+        if (ctm.virtual_union) {
+          for (const auto& alt : ctm.union_alternatives) {
+            enter(alt, depth + 1);
+          }
+          return;
+        }
+        for (const std::string& entry : m.EntryNames(child)) {
+          if (entry == step || entry == "*") {
+            out->push_back({UpdateTarget{child, true},
+                            map::RelPath{entry == "*" ? "~" : entry}});
+            break;
+          }
+        }
+      };
+  for (const auto& child : tm.children) {
+    if (child.path == rel_path) enter(child.type_name, 0);
+  }
+}
+
+// Expected rows written when one instance of `type` is inserted: its own
+// row plus expected descendant rows.
+double SubtreeRowCost(const map::Mapping& m, const std::string& type,
+                      const opt::CostParams& p, int depth) {
+  if (depth > 8) return 0;
+  const map::TypeMapping& tm = m.GetType(type);
+  if (tm.virtual_union) {
+    double total = 0;
+    for (const auto& child : tm.children) {
+      total += child.expected_per_parent *
+               SubtreeRowCost(m, child.type_name, p, depth + 1);
+    }
+    return total;
+  }
+  const rel::Table& table = m.catalog().GetTable(tm.table);
+  double indexes = 1.0 + static_cast<double>(table.foreign_keys.size());
+  double row = table.RowWidth() * p.write_per_byte + indexes * p.seek_cost;
+  for (const auto& child : tm.children) {
+    row += child.expected_per_parent *
+           SubtreeRowCost(m, child.type_name, p, depth + 1);
+  }
+  return row;
+}
+
+}  // namespace
+
+StatusOr<double> CostUpdate(const map::Mapping& mapping, const UpdateOp& op,
+                            const opt::CostParams& params) {
+  if (op.path.empty()) {
+    return Status::InvalidArgument("update path is empty");
+  }
+  const std::string& root = mapping.schema().root_type();
+  const map::TypeMapping* rtm = mapping.FindType(root);
+  if (!rtm || rtm->virtual_union) {
+    return Status::Unsupported("virtual root type");
+  }
+  // The first step names the root element.
+  std::vector<std::pair<UpdateTarget, map::RelPath>> positions;
+  for (const std::string& entry : mapping.EntryNames(root)) {
+    if (entry == op.path[0] || entry == "*") {
+      positions.push_back({UpdateTarget{root, false},
+                           map::RelPath{entry == "*" ? "~" : op.path[0]}});
+    }
+  }
+  for (size_t i = 1; i < op.path.size() && !positions.empty(); ++i) {
+    std::vector<std::pair<UpdateTarget, map::RelPath>> next;
+    for (const auto& [pos, rel_path] : positions) {
+      ResolveStep(mapping, pos, rel_path, op.path[i], &next);
+    }
+    positions = std::move(next);
+  }
+  if (positions.empty()) {
+    return Status::NotFound("update path does not resolve: " + op.name);
+  }
+
+  // Average the cost over the resolved alternatives.
+  double total = 0;
+  for (const auto& [target, rel_path] : positions) {
+    const map::TypeMapping& tm = mapping.GetType(target.type);
+    const rel::Table& table = mapping.catalog().GetTable(tm.table);
+    double locate = params.index_probe_seeks * params.seek_cost +
+                    params.seek_cost;  // find the owning/parent row
+    double write;
+    if (target.outlined) {
+      // New row(s) in the target's table and its expected descendants.
+      write = SubtreeRowCost(mapping, target.type, params, 0);
+    } else {
+      // Inlined content: read-modify-write of the whole (wide) row plus
+      // the owning table's index maintenance.
+      double indexes =
+          1.0 + static_cast<double>(table.foreign_keys.size());
+      write = table.RowWidth() *
+                  (params.read_per_byte + params.write_per_byte) +
+              indexes * params.seek_cost;
+    }
+    total += locate + write;
+  }
+  return total / static_cast<double>(positions.size());
+}
+
+StatusOr<SchemaCost> CostSchema(const xs::Schema& pschema,
+                                const Workload& workload,
+                                const opt::CostParams& params) {
+  LEGODB_ASSIGN_OR_RETURN(map::Mapping mapping, map::MapSchema(pschema));
+  SchemaCost result;
+  for (const auto& wq : workload.queries) {
+    LEGODB_ASSIGN_OR_RETURN(double cost,
+                            CostQuery(mapping, wq.query, params));
+    result.per_query.push_back(cost);
+    result.total += wq.weight * cost;
+  }
+  for (const auto& op : workload.updates) {
+    LEGODB_ASSIGN_OR_RETURN(double cost, CostUpdate(mapping, op, params));
+    result.per_update.push_back(cost);
+    result.total += op.weight * cost;
+  }
+  return result;
+}
+
+}  // namespace legodb::core

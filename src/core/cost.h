@@ -1,0 +1,47 @@
+#ifndef LEGODB_CORE_COST_H_
+#define LEGODB_CORE_COST_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/workload.h"
+#include "mapping/mapping.h"
+#include "optimizer/cost_model.h"
+#include "xschema/schema.h"
+
+namespace legodb::core {
+
+// Cost of one storage configuration for a workload — the paper's
+// GetPSchemaCost: map the p-schema to relations, translate each query, ask
+// the optimizer, and combine with workload weights. Update operations (the
+// Section-7 extension) are costed analytically and included in the total.
+struct SchemaCost {
+  double total = 0;                  // sum of weight * operation cost
+  std::vector<double> per_query;     // unweighted per-query costs
+  std::vector<double> per_update;    // unweighted per-update costs
+};
+
+StatusOr<SchemaCost> CostSchema(const xs::Schema& pschema,
+                                const Workload& workload,
+                                const opt::CostParams& params);
+
+// Convenience: cost of a single query against a pre-built mapping.
+StatusOr<double> CostQuery(const map::Mapping& mapping, const xq::Query& query,
+                           const opt::CostParams& params);
+
+// Cost of one update operation against a configuration:
+//  - inserting an instance of an *outlined* element writes one row into its
+//    table (plus expected descendant rows), each paying row bytes and
+//    per-index maintenance seeks;
+//  - inserting content that is *inlined* into a wider relation pays a
+//    read-modify-write of the whole row plus that table's index upkeep;
+//  - both pay one index probe to locate the parent/owning row;
+//  - deletes cost like inserts (tombstone + index maintenance).
+// When the path resolves into several union partitions, costs average over
+// the alternatives.
+StatusOr<double> CostUpdate(const map::Mapping& mapping, const UpdateOp& op,
+                            const opt::CostParams& params);
+
+}  // namespace legodb::core
+
+#endif  // LEGODB_CORE_COST_H_

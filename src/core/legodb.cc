@@ -1,0 +1,47 @@
+#include "core/legodb.h"
+
+#include "xschema/annotate.h"
+#include "xschema/schema_parser.h"
+
+namespace legodb::core {
+
+Status MappingEngine::LoadSchemaText(const std::string& text) {
+  LEGODB_ASSIGN_OR_RETURN(xs::Schema schema, xs::ParseSchema(text));
+  LEGODB_RETURN_IF_ERROR(schema.Validate());
+  schema_ = std::move(schema);
+  return Status::OK();
+}
+
+Status MappingEngine::LoadStatsText(const std::string& text) {
+  LEGODB_ASSIGN_OR_RETURN(xs::StatsSet stats, xs::ParseStats(text));
+  stats_ = std::move(stats);
+  return Status::OK();
+}
+
+Status MappingEngine::AddQuery(const std::string& name,
+                               const std::string& text, double weight) {
+  return workload_.Add(name, text, weight);
+}
+
+StatusOr<xs::Schema> MappingEngine::AnnotatedSchema() const {
+  LEGODB_RETURN_IF_ERROR(schema_.Validate());
+  return xs::AnnotateSchema(schema_, stats_);
+}
+
+StatusOr<MappingEngine::Result> MappingEngine::FindBestConfiguration(
+    const SearchOptions& options) const {
+  LEGODB_ASSIGN_OR_RETURN(xs::Schema annotated, AnnotatedSchema());
+  LEGODB_ASSIGN_OR_RETURN(
+      SearchResult search,
+      GreedySearch(annotated, workload_, params_, options));
+  LEGODB_ASSIGN_OR_RETURN(map::Mapping mapping,
+                          map::MapSchema(search.best_schema));
+  return Result{std::move(search), std::move(mapping)};
+}
+
+StatusOr<SchemaCost> MappingEngine::CostConfiguration(
+    const xs::Schema& pschema) const {
+  return CostSchema(pschema, workload_, params_);
+}
+
+}  // namespace legodb::core

@@ -1,0 +1,67 @@
+#ifndef LEGODB_CORE_LEGODB_H_
+#define LEGODB_CORE_LEGODB_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/search.h"
+#include "mapping/mapping.h"
+#include "xschema/stats.h"
+
+namespace legodb::core {
+
+// The LegoDB mapping engine facade (Figure 7): purely XML-based inputs — an
+// XML Schema in the algebra notation, data statistics in the Appendix-A
+// notation (or collected from sample documents), and a weighted XQuery
+// workload — and a relational storage configuration as output.
+//
+// Typical use:
+//   MappingEngine engine;
+//   engine.LoadSchemaText(schema_text);
+//   engine.LoadStatsText(stats_text);
+//   engine.AddQuery("Q1", "FOR $v IN ... RETURN ...", 0.4);
+//   auto result = engine.FindBestConfiguration(GreedySoOptions());
+//   std::cout << result->mapping.catalog().ToDdl();
+class MappingEngine {
+ public:
+  MappingEngine() = default;
+
+  Status LoadSchemaText(const std::string& text);
+  Status LoadStatsText(const std::string& text);
+  void SetSchema(xs::Schema schema) { schema_ = std::move(schema); }
+  void SetStats(xs::StatsSet stats) { stats_ = std::move(stats); }
+  Status AddQuery(const std::string& name, const std::string& text,
+                  double weight);
+  void SetWorkload(Workload workload) { workload_ = std::move(workload); }
+
+  opt::CostParams* mutable_cost_params() { return &params_; }
+
+  // The statistics-annotated input schema (p-schema source).
+  StatusOr<xs::Schema> AnnotatedSchema() const;
+
+  struct Result {
+    SearchResult search;
+    map::Mapping mapping;  // relational configuration of the best schema
+  };
+
+  // Runs the greedy search and maps the winner to relations.
+  StatusOr<Result> FindBestConfiguration(
+      const SearchOptions& options = GreedySoOptions()) const;
+
+  // Costs a fixed configuration (no search), e.g. the ALL-INLINED baseline.
+  StatusOr<SchemaCost> CostConfiguration(const xs::Schema& pschema) const;
+
+  const Workload& workload() const { return workload_; }
+  const xs::Schema& schema() const { return schema_; }
+  const xs::StatsSet& stats() const { return stats_; }
+
+ private:
+  xs::Schema schema_;
+  xs::StatsSet stats_;
+  Workload workload_;
+  opt::CostParams params_;
+};
+
+}  // namespace legodb::core
+
+#endif  // LEGODB_CORE_LEGODB_H_

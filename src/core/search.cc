@@ -1,0 +1,187 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+
+#include "optimizer/optimizer.h"
+#include "translate/translate.h"
+
+namespace legodb::core {
+
+SearchOptions GreedySiOptions() {
+  SearchOptions o;
+  o.start = SearchOptions::Start::kAllInlined;
+  o.transforms.inline_types = false;
+  o.transforms.outline_elements = true;
+  return o;
+}
+
+SearchOptions GreedySoOptions() {
+  SearchOptions o;
+  o.start = SearchOptions::Start::kAllOutlined;
+  o.transforms.inline_types = true;
+  o.transforms.outline_elements = false;
+  return o;
+}
+
+namespace {
+
+// Costs workloads against configurations, reusing a query's estimate when
+// its translated SQL and the statistics of every table it touches are
+// unchanged from an earlier configuration. Most single transformations
+// affect one or two types, so most workload queries hit the cache.
+class CachedCoster {
+ public:
+  CachedCoster(const Workload& workload, const opt::CostParams& params,
+               bool enabled)
+      : workload_(workload), params_(params), enabled_(enabled) {
+    caches_.resize(workload.queries.size());
+  }
+
+  StatusOr<double> Cost(const xs::Schema& pschema, SearchStats* stats) {
+    LEGODB_ASSIGN_OR_RETURN(map::Mapping mapping, map::MapSchema(pschema));
+    opt::Optimizer optimizer(mapping.catalog(), params_);
+    double total = 0;
+    for (size_t i = 0; i < workload_.queries.size(); ++i) {
+      const WorkloadQuery& wq = workload_.queries[i];
+      LEGODB_ASSIGN_OR_RETURN(opt::RelQuery rq,
+                              xlat::TranslateQuery(wq.query, mapping));
+      std::string key;
+      if (enabled_) {
+        key = CacheKey(rq, mapping.catalog());
+        auto it = caches_[i].find(key);
+        if (it != caches_[i].end()) {
+          ++stats->cache_hits;
+          total += wq.weight * it->second;
+          continue;
+        }
+      }
+      LEGODB_ASSIGN_OR_RETURN(opt::PlannedQuery planned,
+                              optimizer.PlanQuery(rq));
+      ++stats->cost_evaluations;
+      if (enabled_) caches_[i][key] = planned.total_cost;
+      total += wq.weight * planned.total_cost;
+    }
+    for (const auto& op : workload_.updates) {
+      LEGODB_ASSIGN_OR_RETURN(double cost,
+                              CostUpdate(mapping, op, params_));
+      total += op.weight * cost;
+    }
+    return total;
+  }
+
+ private:
+  static std::string CacheKey(const opt::RelQuery& rq,
+                              const rel::Catalog& catalog) {
+    std::string key = rq.ToSql();
+    std::set<std::string> tables;
+    for (const auto& block : rq.blocks) {
+      for (const auto& rel : block.rels) tables.insert(rel.table);
+    }
+    for (const auto& name : tables) {
+      const rel::Table& t = catalog.GetTable(name);
+      double distincts = 0, null_frac = 0;
+      for (const auto& col : t.columns) {
+        distincts += col.distincts;
+        null_frac += col.null_fraction;
+      }
+      key += "|" + name + "#" + std::to_string(t.row_count) + "#" +
+             std::to_string(t.RowWidth()) + "#" +
+             std::to_string(t.columns.size()) + "#" +
+             std::to_string(distincts) + "#" + std::to_string(null_frac);
+    }
+    return key;
+  }
+
+  const Workload& workload_;
+  const opt::CostParams& params_;
+  bool enabled_;
+  std::vector<std::map<std::string, double>> caches_;
+};
+
+struct BeamEntry {
+  xs::Schema schema;
+  double cost = 0;
+};
+
+}  // namespace
+
+StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
+                                    const Workload& workload,
+                                    const opt::CostParams& params,
+                                    const SearchOptions& options) {
+  xs::Schema initial;
+  switch (options.start) {
+    case SearchOptions::Start::kAllInlined:
+      initial = ps::AllInlined(annotated_schema);
+      break;
+    case SearchOptions::Start::kAllOutlined:
+      initial = ps::AllOutlined(annotated_schema);
+      break;
+    case SearchOptions::Start::kAsIs:
+      initial = ps::Normalize(annotated_schema);
+      break;
+  }
+
+  SearchResult result;
+  CachedCoster coster(workload, params, options.cache_query_costs);
+  LEGODB_ASSIGN_OR_RETURN(double initial_cost,
+                          coster.Cost(initial, &result.stats));
+
+  int beam_width = std::max(1, options.beam_width);
+  std::vector<BeamEntry> beam = {BeamEntry{initial, initial_cost}};
+  xs::Schema best_schema = std::move(initial);
+  double best_cost = initial_cost;
+  // Configurations already evaluated anywhere in the run.
+  std::set<std::string> seen = {best_schema.ToString()};
+
+  result.trace.push_back(SearchResult::IterationLog{0, best_cost, "", 0});
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    std::vector<BeamEntry> expanded;
+    std::string best_move;
+    double iter_best = std::numeric_limits<double>::infinity();
+    int evaluated = 0;
+    for (const BeamEntry& entry : beam) {
+      for (const auto& cand :
+           EnumerateTransformations(entry.schema, options.transforms)) {
+        auto next = ApplyTransformation(entry.schema, cand);
+        if (!next.ok()) continue;
+        std::string signature = next->ToString();
+        if (!seen.insert(signature).second) continue;
+        auto next_cost = coster.Cost(next.value(), &result.stats);
+        if (!next_cost.ok()) continue;
+        ++evaluated;
+        if (*next_cost < iter_best) {
+          iter_best = *next_cost;
+          best_move = cand.description;
+        }
+        expanded.push_back(BeamEntry{std::move(next).value(), *next_cost});
+      }
+    }
+    double threshold = best_cost * (1.0 - options.min_relative_improvement);
+    if (evaluated == 0 || iter_best >= threshold) break;
+
+    std::sort(expanded.begin(), expanded.end(),
+              [](const BeamEntry& a, const BeamEntry& b) {
+                return a.cost < b.cost;
+              });
+    if (static_cast<int>(expanded.size()) > beam_width) {
+      expanded.resize(static_cast<size_t>(beam_width));
+    }
+    beam = std::move(expanded);
+    best_cost = beam[0].cost;
+    best_schema = beam[0].schema;
+    result.trace.push_back(
+        SearchResult::IterationLog{iter, best_cost, best_move, evaluated});
+  }
+
+  result.best_schema = std::move(best_schema);
+  result.best_cost = best_cost;
+  return result;
+}
+
+}  // namespace legodb::core

@@ -1,0 +1,82 @@
+#ifndef LEGODB_CORE_SEARCH_H_
+#define LEGODB_CORE_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost.h"
+#include "core/transforms.h"
+#include "core/workload.h"
+
+namespace legodb::core {
+
+// Options for the greedy configuration search (Algorithm 4.1).
+struct SearchOptions {
+  // Initial configuration derived from the (annotated) input schema.
+  enum class Start {
+    kAllInlined,   // greedy-si start: everything inlined except collections
+    kAllOutlined,  // greedy-so start: everything outlined except base types
+    kAsIs,         // normalize the input schema and start from it
+  };
+  Start start = Start::kAllInlined;
+
+  // Move set offered to the search. The paper's prototype searches over
+  // inline/outline; the structural rewritings can be switched on too.
+  TransformOptions transforms;
+
+  // Stop when the best candidate improves cost by less than this fraction
+  // (0 reproduces the paper's strict Algorithm 4.1 termination).
+  double min_relative_improvement = 0;
+
+  int max_iterations = 64;
+
+  // Beam width: 1 reproduces the paper's greedy search; k > 1 keeps the k
+  // best configurations per iteration and expands all of them — the
+  // "dynamic programming search strategies" extension the paper's
+  // Section 7 proposes. The result is the best configuration ever seen.
+  int beam_width = 1;
+
+  // Reuse query cost estimates across candidate configurations when the
+  // translated SQL and the statistics of the tables it touches are
+  // unchanged (most single transformations leave most workload queries
+  // untouched). Implements the Section-7 idea of letting the optimizer
+  // "reuse partial results from one evaluation to the next".
+  bool cache_query_costs = true;
+};
+
+// Counters exposed for tests/benchmarks of the cost cache.
+struct SearchStats {
+  int64_t cost_evaluations = 0;  // optimizer invocations (query granularity)
+  int64_t cache_hits = 0;
+};
+
+struct SearchResult {
+  xs::Schema best_schema;
+  double best_cost = 0;
+  SearchStats stats;
+
+  struct IterationLog {
+    int iteration = 0;       // 0 is the initial configuration
+    double cost = 0;         // cost after this iteration
+    std::string applied;     // transformation taken ("" for iteration 0)
+    int candidates = 0;      // number of candidates evaluated
+  };
+  std::vector<IterationLog> trace;
+};
+
+// Greedy search for an efficient configuration (Algorithm 4.1): derive the
+// initial physical schema, then repeatedly move to the cheapest
+// single-transformation neighbour until no move improves the cost.
+StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
+                                    const Workload& workload,
+                                    const opt::CostParams& params,
+                                    const SearchOptions& options);
+
+// The two search variants of Section 5.2.
+SearchOptions GreedySiOptions();  // start all-inlined, apply outlining
+SearchOptions GreedySoOptions();  // start all-outlined, apply inlining
+
+}  // namespace legodb::core
+
+#endif  // LEGODB_CORE_SEARCH_H_

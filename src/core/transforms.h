@@ -1,0 +1,60 @@
+#ifndef LEGODB_CORE_TRANSFORMS_H_
+#define LEGODB_CORE_TRANSFORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pschema/pschema.h"
+#include "xschema/schema.h"
+
+namespace legodb::core {
+
+// One applicable schema rewriting (Section 4.1), reified so the search can
+// enumerate, describe, and apply candidate moves.
+struct Transformation {
+  enum class Kind {
+    kInline,               // elide a named type into its single use
+    kOutline,              // give a nested element its own named type
+    kUnionDistribute,      // (a,(b|c)) == (a,b | a,c) + distribution across
+                           // the element: partitions the type (Fig. 4(c))
+    kUnionToOptions,       // (t1|t2) ⊂ (t1?,t2?): inline union branches as
+                           // nullable columns (lossy, from [19])
+    kRepetitionSplit,      // a+ == a,a*: inline the first occurrence
+    kRepetitionMerge,      // inverse of split
+    kWildcardMaterialize,  // ~ == tag | ~!tag: partition wildcard content
+  };
+
+  Kind kind;
+  std::string type_name;   // the type whose body is rewritten (or inlined)
+  ps::NodePath path;       // position inside the body (kind-dependent)
+  std::string tag;         // kWildcardMaterialize: tag to materialize
+  std::string description;
+};
+
+// Which rewritings the search may propose. The paper's greedy prototype
+// explores inlining/outlining; the other rewritings are explored separately
+// (Section 5.4), which the per-figure benchmarks replicate.
+struct TransformOptions {
+  bool inline_types = true;
+  bool outline_elements = true;
+  bool union_distribute = false;
+  bool union_to_options = false;
+  bool repetition_split = false;
+  bool repetition_merge = false;
+  bool wildcard_materialize = false;
+  // Candidate tags for wildcard materialization (taken from workload paths).
+  std::vector<std::string> wildcard_tags;
+};
+
+// All single transformations applicable to `schema` (a p-schema).
+std::vector<Transformation> EnumerateTransformations(
+    const xs::Schema& schema, const TransformOptions& options);
+
+// Applies one transformation; the result is normalized back to a p-schema.
+StatusOr<xs::Schema> ApplyTransformation(const xs::Schema& schema,
+                                         const Transformation& t);
+
+}  // namespace legodb::core
+
+#endif  // LEGODB_CORE_TRANSFORMS_H_

@@ -1,0 +1,87 @@
+#include "core/workload.h"
+
+#include <functional>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace legodb::core {
+
+Status Workload::Add(const std::string& name, const std::string& text,
+                     double weight) {
+  LEGODB_ASSIGN_OR_RETURN(xq::Query q, xq::ParseQuery(text));
+  queries.push_back(WorkloadQuery{name, std::move(q), weight});
+  return Status::OK();
+}
+
+void Workload::AddUpdate(const std::string& name, UpdateOp::Kind kind,
+                         const std::string& slash_path, double weight) {
+  UpdateOp op;
+  op.name = name;
+  op.kind = kind;
+  op.weight = weight;
+  for (const auto& step : StrSplit(slash_path, '/')) {
+    if (!step.empty()) op.path.push_back(step);
+  }
+  updates.push_back(std::move(op));
+}
+
+double Workload::TotalWeight() const {
+  double total = 0;
+  for (const auto& q : queries) total += q.weight;
+  for (const auto& u : updates) total += u.weight;
+  return total;
+}
+
+namespace {
+void CollectSteps(const xq::Query& q, std::set<std::string>* out) {
+  auto add_path = [&](const std::vector<std::string>& steps) {
+    for (const auto& s : steps) out->insert(s);
+  };
+  for (const auto& f : q.fors) add_path(f.steps);
+  for (const auto& p : q.where) {
+    add_path(p.lhs.steps);
+    if (p.rhs_is_path) add_path(p.rhs_path.steps);
+  }
+  std::function<void(const std::vector<xq::ReturnItem>&)> visit =
+      [&](const std::vector<xq::ReturnItem>& items) {
+        for (const auto& item : items) {
+          switch (item.kind) {
+            case xq::ReturnItem::Kind::kPath:
+              add_path(item.path.steps);
+              break;
+            case xq::ReturnItem::Kind::kSubquery:
+              CollectSteps(*item.subquery, out);
+              break;
+            case xq::ReturnItem::Kind::kElement:
+              visit(item.children);
+              break;
+          }
+        }
+      };
+  visit(q.ret);
+}
+}  // namespace
+
+std::vector<std::string> Workload::PathStepNames() const {
+  std::set<std::string> steps;
+  for (const auto& q : queries) CollectSteps(q.query, &steps);
+  return std::vector<std::string>(steps.begin(), steps.end());
+}
+
+Workload Workload::Mix(const Workload& a, const Workload& b, double k) {
+  Workload mixed;
+  double wa = a.TotalWeight();
+  double wb = b.TotalWeight();
+  for (const auto& q : a.queries) {
+    mixed.queries.push_back(
+        WorkloadQuery{q.name, q.query, wa > 0 ? k * q.weight / wa : 0});
+  }
+  for (const auto& q : b.queries) {
+    mixed.queries.push_back(WorkloadQuery{
+        q.name, q.query, wb > 0 ? (1 - k) * q.weight / wb : 0});
+  }
+  return mixed;
+}
+
+}  // namespace legodb::core

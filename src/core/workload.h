@@ -1,0 +1,62 @@
+#ifndef LEGODB_CORE_WORKLOAD_H_
+#define LEGODB_CORE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+#include "xquery/parser.h"
+
+namespace legodb::core {
+
+// A named, weighted query — one entry of the paper's application workload
+// (e.g. W1 = {Q1: 0.4, Q2: 0.4, Q3: 0.1, Q4: 0.1}).
+struct WorkloadQuery {
+  std::string name;
+  xq::Query query;
+  double weight = 1;
+};
+
+// An update operation in the workload — the paper's Section-7 "including
+// updates in our workload" extension. Models inserting (or deleting) one
+// instance of the element reached by `path` per execution, e.g.
+// {"imdb","show","reviews"}: add a review to some show. Updates pull the
+// search toward narrow, outlined designs: an insert into an outlined
+// collection writes one lean row, while content inlined into a wide
+// relation pays a wide-row rewrite plus that table's index maintenance.
+struct UpdateOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  std::string name;
+  std::vector<std::string> path;  // element path from the document root
+  double weight = 1;
+};
+
+struct Workload {
+  std::vector<WorkloadQuery> queries;
+  std::vector<UpdateOp> updates;
+
+  // Parses and appends a query; returns an error on bad syntax.
+  Status Add(const std::string& name, const std::string& text, double weight);
+
+  // Appends an update operation on a '/'-separated element path, e.g.
+  // "imdb/show/reviews".
+  void AddUpdate(const std::string& name, UpdateOp::Kind kind,
+                 const std::string& slash_path, double weight);
+
+  // Sum of weights (used to normalize to an average per-query cost).
+  double TotalWeight() const;
+
+  // All literal path step names appearing anywhere in the workload; feeds
+  // wildcard-materialization candidates.
+  std::vector<std::string> PathStepNames() const;
+
+  // A workload mixing `a` and `b` with ratio k:(1-k) (the Section 5.3
+  // spectrum construction).
+  static Workload Mix(const Workload& a, const Workload& b, double k);
+};
+
+}  // namespace legodb::core
+
+#endif  // LEGODB_CORE_WORKLOAD_H_

@@ -1,0 +1,65 @@
+#ifndef LEGODB_ENGINE_EXECUTOR_H_
+#define LEGODB_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "optimizer/plan.h"
+#include "storage/database.h"
+#include "xquery/result.h"
+
+namespace legodb::engine {
+
+// Work actually performed by an execution — the measured counterpart of the
+// optimizer's estimates, used to validate the cost model (the paper
+// validated against SQL Server; we validate against this engine).
+struct ExecStats {
+  double tuples_processed = 0;
+  double bytes_read = 0;
+  double seeks = 0;
+  double rows_out = 0;
+  double bytes_out = 0;
+
+  // Work combined with the same weights as the optimizer's cost formula.
+  double WeightedCost(double seek_cost, double read_per_byte,
+                      double write_per_byte, double cpu_per_tuple) const {
+    return seeks * seek_cost + bytes_read * read_per_byte +
+           bytes_out * write_per_byte + tuples_processed * cpu_per_tuple;
+  }
+
+  void Add(const ExecStats& other);
+};
+
+// Interprets physical plans over an in-memory Database. Materializing,
+// tuple-at-a-time; intended for correctness validation and cost-model
+// calibration, not raw speed.
+class Executor {
+ public:
+  // `params` binds symbolic query constants (c1, c2, ...). The database is
+  // non-const because hash indexes build lazily.
+  Executor(store::Database* db, std::map<std::string, Value> params = {})
+      : db_(db), params_(std::move(params)) {}
+
+  // Executes one planned block; returns rows labelled per block.output.
+  StatusOr<xq::ResultSet> ExecuteBlock(const opt::QueryBlock& block,
+                                       const opt::PhysicalPlanPtr& plan);
+
+  // Executes a whole translated query (UNION ALL of its blocks).
+  StatusOr<xq::ResultSet> ExecuteQuery(
+      const opt::RelQuery& query,
+      const std::vector<opt::PhysicalPlanPtr>& block_plans);
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats(); }
+
+ private:
+  friend class BlockExecutor;
+  store::Database* db_;
+  std::map<std::string, Value> params_;
+  ExecStats stats_;
+};
+
+}  // namespace legodb::engine
+
+#endif  // LEGODB_ENGINE_EXECUTOR_H_

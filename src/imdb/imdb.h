@@ -1,0 +1,69 @@
+#ifndef LEGODB_IMDB_IMDB_H_
+#define LEGODB_IMDB_IMDB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/workload.h"
+#include "xml/dom.h"
+#include "xschema/schema.h"
+#include "xschema/stats.h"
+
+namespace legodb::imdb {
+
+// The paper's IMDB schema in the XML Query Algebra notation (Appendix B):
+// shows (movies | TV series with episodes), directors, actors.
+const char* SchemaText();
+
+// The paper's data statistics (Appendix A), verbatim in the STcnt / STsize /
+// STbase notation.
+const char* StatsText();
+
+// Parsed and validated forms.
+StatusOr<xs::Schema> Schema();
+StatusOr<xs::StatsSet> Stats();
+
+// One of the paper's queries (Appendix C and Section 2), by name:
+// "Q1".."Q20" plus the Section-2 motivating queries "S2Q1".."S2Q4".
+// Returns nullptr for unknown names. Query paths follow our navigation
+// syntax: reviews are reached as $v/reviews/<source> (e.g. Q1 uses
+// $v/reviews/nyt where the paper wrote $v/nyt_reviews).
+const char* QueryText(const std::string& name);
+
+// Canned workloads:
+//  - "lookup":  Q8, Q9, Q11, Q12, Q13 (Section 5.2)
+//  - "publish": Q15, Q16, Q17        (Section 5.2)
+//  - "w1": {S2Q1:.4, S2Q2:.4, S2Q3:.1, S2Q4:.1}  (Section 2)
+//  - "w2": {S2Q1:.1, S2Q2:.1, S2Q3:.4, S2Q4:.4}  (Section 2)
+StatusOr<core::Workload> MakeWorkload(const std::string& name);
+
+// ---- Synthetic data --------------------------------------------------------
+
+// Scale knobs for the synthetic IMDB generator; defaults give a small
+// dataset whose *shape* matches Appendix A (ratios of akas/reviews/episodes
+// per show etc.). The generator substitutes for the real IMDB dump the
+// paper used, which is not redistributable.
+struct ImdbScale {
+  int shows = 60;
+  double tv_fraction = 0.2;      // shows that are TV series
+  double aka_mean = 0.4;         // akas per show (13641/34798)
+  double review_mean = 0.33;     // reviews per show (11250/34798)
+  double nyt_fraction = 0.4;     // reviews tagged <nyt>
+  double episodes_per_tv = 9.0;  // 31250/3500
+  int directors = 25;
+  double directed_per_director = 4.0;  // 105004/26251
+  int actors = 80;
+  double played_per_actor = 4.0;  // 663144/165786
+  double award_prob = 0.1;
+  double biography_prob = 0.25;   // 20000/165786 rounded up for testing
+  uint64_t seed = 42;
+};
+
+// Generates a document valid under Schema() with the given scale.
+xml::Document Generate(const ImdbScale& scale);
+
+}  // namespace legodb::imdb
+
+#endif  // LEGODB_IMDB_IMDB_H_

@@ -1,0 +1,36 @@
+#ifndef LEGODB_OPTIMIZER_COST_MODEL_H_
+#define LEGODB_OPTIMIZER_COST_MODEL_H_
+
+namespace legodb::opt {
+
+// Cost-model parameters. Per Section 5 of the paper, the cost of a query is
+// estimated from the number of seeks, the amount of data read, the amount of
+// data written, and CPU time for in-memory processing.
+struct CostParams {
+  // Cost of one random I/O (seek + rotational latency), in abstract units.
+  double seek_cost = 40.0;
+  // Cost per byte read sequentially.
+  double read_per_byte = 0.002;
+  // Cost per byte written (query results count as writes).
+  double write_per_byte = 0.004;
+  // CPU cost per tuple processed by an operator.
+  double cpu_per_tuple = 0.02;
+  // CPU cost per hash-table insert/probe.
+  double cpu_per_probe = 0.03;
+  // B-tree descent cost for one index probe, expressed in seeks.
+  double index_probe_seeks = 1.0;
+
+  // Indexes always exist on primary keys and foreign keys. When set,
+  // indexes also exist on columns used in equality predicates (the "in the
+  // presence of appropriate indexes" scenario of Section 5.3(b); explored by
+  // bench/ablation_indexes).
+  bool index_on_predicates = false;
+
+  // Join-order search switches from dynamic programming to a greedy
+  // heuristic above this many relations.
+  int dp_rel_limit = 12;
+};
+
+}  // namespace legodb::opt
+
+#endif  // LEGODB_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,548 @@
+#include "pschema/pschema.h"
+
+#include <cassert>
+#include <cctype>
+#include <functional>
+#include <map>
+
+namespace legodb::ps {
+
+using xs::Schema;
+using xs::Type;
+using xs::TypePtr;
+
+namespace {
+
+bool IsRefOrUnionOfRefs(const TypePtr& t) {
+  if (t->kind == Type::Kind::kTypeRef) return true;
+  if (t->kind != Type::Kind::kUnion) return false;
+  for (const auto& alt : t->children) {
+    if (alt->kind != Type::Kind::kTypeRef) return false;
+  }
+  return true;
+}
+
+Status CheckPhysicalType(const std::string& owner, const TypePtr& t) {
+  switch (t->kind) {
+    case Type::Kind::kEmpty:
+    case Type::Kind::kScalar:
+    case Type::Kind::kTypeRef:
+      return Status::OK();
+    case Type::Kind::kElement:
+    case Type::Kind::kAttribute:
+      return CheckPhysicalType(owner, t->child);
+    case Type::Kind::kSequence: {
+      for (const auto& c : t->children) {
+        LEGODB_RETURN_IF_ERROR(CheckPhysicalType(owner, c));
+      }
+      return Status::OK();
+    }
+    case Type::Kind::kUnion: {
+      for (const auto& alt : t->children) {
+        if (alt->kind != Type::Kind::kTypeRef) {
+          return Status::InvalidArgument(
+              "type '" + owner +
+              "': union alternative is not a type reference: " +
+              alt->ToString());
+        }
+      }
+      return Status::OK();
+    }
+    case Type::Kind::kRepetition: {
+      if (t->is_optional_rep()) {
+        // Optionals may hold physical content (nullable columns) or refs.
+        return CheckPhysicalType(owner, t->child);
+      }
+      if (!IsRefOrUnionOfRefs(t->child)) {
+        return Status::InvalidArgument(
+            "type '" + owner +
+            "': repetition content is not a type reference: " +
+            t->child->ToString());
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+// Derives a readable type name from the content being outlined.
+std::string SuggestTypeName(const TypePtr& t) {
+  std::function<std::string(const TypePtr&)> first_name =
+      [&](const TypePtr& n) -> std::string {
+    switch (n->kind) {
+      case Type::Kind::kElement:
+        if (n->name.kind == xs::NameClass::Kind::kLiteral) {
+          return n->name.name;
+        }
+        return "any";
+      case Type::Kind::kAttribute:
+        return n->name.name;
+      case Type::Kind::kSequence:
+      case Type::Kind::kUnion:
+        return n->children.empty() ? "" : first_name(n->children[0]);
+      case Type::Kind::kRepetition:
+        return first_name(n->child);
+      case Type::Kind::kTypeRef:
+        return n->ref_name;
+      case Type::Kind::kScalar:
+        return n->scalar_kind == xs::ScalarKind::kInteger ? "int" : "string";
+      default:
+        return "";
+    }
+  };
+  std::string base = first_name(t);
+  if (base.empty()) base = "T";
+  base[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(base[0])));
+  return base;
+}
+
+std::string OutlineInto(Schema* schema, TypePtr body) {
+  std::string name = schema->FreshTypeName(SuggestTypeName(body));
+  schema->Define(name, std::move(body));
+  return name;
+}
+
+// Rewrites `t` so unions and non-optional repetitions contain only refs;
+// outlined bodies are themselves normalized first (bottom-up).
+TypePtr NormalizeType(const TypePtr& t, Schema* schema) {
+  switch (t->kind) {
+    case Type::Kind::kEmpty:
+    case Type::Kind::kScalar:
+    case Type::Kind::kTypeRef:
+      return t;
+    case Type::Kind::kElement:
+      return Type::Element(t->name, NormalizeType(t->child, schema));
+    case Type::Kind::kAttribute:
+      return Type::Attribute(t->name.name, NormalizeType(t->child, schema));
+    case Type::Kind::kSequence: {
+      std::vector<TypePtr> items;
+      items.reserve(t->children.size());
+      for (const auto& c : t->children) {
+        items.push_back(NormalizeType(c, schema));
+      }
+      return Type::Sequence(std::move(items));
+    }
+    case Type::Kind::kUnion: {
+      std::vector<TypePtr> alts;
+      alts.reserve(t->children.size());
+      for (const auto& c : t->children) {
+        TypePtr alt = NormalizeType(c, schema);
+        if (alt->kind != Type::Kind::kTypeRef) {
+          alt = Type::Ref(OutlineInto(schema, alt));
+        }
+        alts.push_back(std::move(alt));
+      }
+      return Type::Union(std::move(alts));
+    }
+    case Type::Kind::kRepetition: {
+      TypePtr child = NormalizeType(t->child, schema);
+      if (!t->is_optional_rep() && !IsRefOrUnionOfRefs(child)) {
+        child = Type::Ref(OutlineInto(schema, child));
+      }
+      return Type::Repetition(std::move(child), t->min_occurs, t->max_occurs,
+                              t->avg_count);
+    }
+  }
+  return t;
+}
+
+// Context describing whether a type-reference position permits inlining:
+// inlinable iff the reference sits under sequences / elements / optionals
+// only (Section 4.1's conditions).
+struct RefOccurrence {
+  std::string owner;  // type whose body holds the reference
+  bool inlinable;
+};
+
+std::map<std::string, std::vector<RefOccurrence>> CollectRefOccurrences(
+    const Schema& schema) {
+  std::map<std::string, std::vector<RefOccurrence>> occ;
+  for (const auto& name : schema.type_names()) {
+    std::function<void(const TypePtr&, bool)> walk = [&](const TypePtr& t,
+                                                         bool inlinable) {
+      switch (t->kind) {
+        case Type::Kind::kTypeRef:
+          occ[t->ref_name].push_back(RefOccurrence{name, inlinable});
+          break;
+        case Type::Kind::kElement:
+        case Type::Kind::kAttribute:
+          walk(t->child, inlinable);
+          break;
+        case Type::Kind::kSequence:
+          for (const auto& c : t->children) walk(c, inlinable);
+          break;
+        case Type::Kind::kUnion:
+          for (const auto& c : t->children) walk(c, false);
+          break;
+        case Type::Kind::kRepetition:
+          walk(t->child, inlinable && t->is_optional_rep());
+          break;
+        default:
+          break;
+      }
+    };
+    walk(schema.Get(name), /*inlinable=*/true);
+  }
+  return occ;
+}
+
+// Replaces every reference to `target` in `t` with `body`.
+TypePtr SubstituteRef(const TypePtr& t, const std::string& target,
+                      const TypePtr& body) {
+  switch (t->kind) {
+    case Type::Kind::kTypeRef:
+      return t->ref_name == target ? body : t;
+    case Type::Kind::kElement:
+      return Type::Element(t->name, SubstituteRef(t->child, target, body));
+    case Type::Kind::kAttribute:
+      return Type::Attribute(t->name.name,
+                             SubstituteRef(t->child, target, body));
+    case Type::Kind::kSequence:
+    case Type::Kind::kUnion: {
+      std::vector<TypePtr> children;
+      children.reserve(t->children.size());
+      for (const auto& c : t->children) {
+        children.push_back(SubstituteRef(c, target, body));
+      }
+      return t->kind == Type::Kind::kSequence
+                 ? Type::Sequence(std::move(children))
+                 : Type::Union(std::move(children));
+    }
+    case Type::Kind::kRepetition:
+      return Type::Repetition(SubstituteRef(t->child, target, body),
+                              t->min_occurs, t->max_occurs, t->avg_count);
+    default:
+      return t;
+  }
+}
+
+// Union over element structure -> sequence of optionals ("from union to
+// options", Section 4.1). Applied recursively. Branch presence statistics
+// default to 1/#alternatives.
+TypePtr FlattenUnions(const TypePtr& t) {
+  switch (t->kind) {
+    case Type::Kind::kElement:
+      return Type::Element(t->name, FlattenUnions(t->child));
+    case Type::Kind::kAttribute:
+      return Type::Attribute(t->name.name, FlattenUnions(t->child));
+    case Type::Kind::kSequence: {
+      std::vector<TypePtr> items;
+      for (const auto& c : t->children) items.push_back(FlattenUnions(c));
+      return Type::Sequence(std::move(items));
+    }
+    case Type::Kind::kUnion: {
+      // Branch presence: statistics-derived ref weights when available.
+      double sum = 0;
+      bool weighted = true;
+      for (const auto& c : t->children) {
+        if (c->kind != Type::Kind::kTypeRef || c->ref_weight <= 0) {
+          weighted = false;
+          break;
+        }
+        sum += c->ref_weight;
+      }
+      std::vector<TypePtr> items;
+      for (const auto& c : t->children) {
+        double presence = weighted && sum > 0
+                              ? c->ref_weight / sum
+                              : 1.0 / static_cast<double>(t->children.size());
+        items.push_back(Type::Repetition(FlattenUnions(c), 0, 1, presence));
+      }
+      return Type::Sequence(std::move(items));
+    }
+    case Type::Kind::kRepetition:
+      return Type::Repetition(FlattenUnions(t->child), t->min_occurs,
+                              t->max_occurs, t->avg_count);
+    default:
+      return t;
+  }
+}
+
+// A type referenced more than once from one body (e.g. `a[ B, c[ B* ] ]`)
+// would make the child table's parent FK ambiguous: reconstruction could
+// not tell which position a child row belongs to. Later references get an
+// aliased type with the same (shared) body, so each reference position owns
+// a distinct table. Recursive targets are skipped (aliasing would unfold
+// the cycle forever); their reconstruction ambiguity is inherent.
+Schema DisambiguateRepeatedRefs(Schema s) {
+  std::vector<std::string> work = s.type_names();
+  int guard = 0;
+  while (!work.empty() && guard++ < 4096) {
+    std::string name = work.back();
+    work.pop_back();
+    if (!s.Has(name)) continue;
+    std::map<std::string, int> seen;
+    std::function<TypePtr(const TypePtr&)> walk =
+        [&](const TypePtr& t) -> TypePtr {
+      switch (t->kind) {
+        case Type::Kind::kTypeRef: {
+          int& n = seen[t->ref_name];
+          ++n;
+          if (n > 1 && t->ref_name != name && s.Has(t->ref_name) &&
+              !s.IsRecursive(t->ref_name)) {
+            std::string alias = s.FreshTypeName(t->ref_name);
+            s.Define(alias, s.Get(t->ref_name));
+            work.push_back(alias);
+            return t->ref_weight > 0
+                       ? Type::RefWeighted(alias, t->ref_weight)
+                       : Type::Ref(alias);
+          }
+          return t;
+        }
+        case Type::Kind::kElement:
+          return Type::Element(t->name, walk(t->child));
+        case Type::Kind::kAttribute:
+          return Type::Attribute(t->name.name, walk(t->child));
+        case Type::Kind::kSequence:
+        case Type::Kind::kUnion: {
+          std::vector<TypePtr> children;
+          children.reserve(t->children.size());
+          for (const auto& c : t->children) children.push_back(walk(c));
+          return t->kind == Type::Kind::kSequence
+                     ? Type::Sequence(std::move(children))
+                     : Type::Union(std::move(children));
+        }
+        case Type::Kind::kRepetition:
+          return Type::Repetition(walk(t->child), t->min_occurs,
+                                  t->max_occurs, t->avg_count);
+        default:
+          return t;
+      }
+    };
+    s.Define(name, walk(s.Get(name)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Status CheckPhysical(const Schema& schema) {
+  LEGODB_RETURN_IF_ERROR(schema.Validate());
+  for (const auto& name : schema.type_names()) {
+    LEGODB_RETURN_IF_ERROR(CheckPhysicalType(name, schema.Get(name)));
+  }
+  return Status::OK();
+}
+
+Schema Normalize(const Schema& schema) {
+  Schema out = schema;
+  // Iterate over a snapshot: newly outlined types are already normalized.
+  std::vector<std::string> names = out.type_names();
+  for (const auto& name : names) {
+    out.Define(name, NormalizeType(out.Get(name), &out));
+  }
+  out = DisambiguateRepeatedRefs(std::move(out));
+  assert(CheckPhysical(out).ok());
+  return out;
+}
+
+Schema AllOutlined(const Schema& schema) {
+  Schema out = schema;
+  // Outline every element strictly inside a type body. The body's own root
+  // element (if any) stays, since the named type denotes it.
+  std::function<TypePtr(const TypePtr&, Schema*, bool)> walk =
+      [&](const TypePtr& t, Schema* s, bool is_body_root) -> TypePtr {
+    switch (t->kind) {
+      case Type::Kind::kElement: {
+        TypePtr content = walk(t->child, s, false);
+        TypePtr elem = Type::Element(t->name, std::move(content));
+        if (is_body_root) return elem;
+        return Type::Ref(OutlineInto(s, std::move(elem)));
+      }
+      case Type::Kind::kAttribute:
+        return t;  // attributes always stay with their element
+      case Type::Kind::kSequence: {
+        std::vector<TypePtr> items;
+        for (const auto& c : t->children) items.push_back(walk(c, s, false));
+        return Type::Sequence(std::move(items));
+      }
+      case Type::Kind::kUnion: {
+        std::vector<TypePtr> alts;
+        for (const auto& c : t->children) alts.push_back(walk(c, s, false));
+        return Type::Union(std::move(alts));
+      }
+      case Type::Kind::kRepetition:
+        return Type::Repetition(walk(t->child, s, false), t->min_occurs,
+                                t->max_occurs, t->avg_count);
+      default:
+        return t;
+    }
+  };
+  std::vector<std::string> names = out.type_names();
+  for (const auto& name : names) {
+    out.Define(name, walk(out.Get(name), &out, /*is_body_root=*/true));
+  }
+  return Normalize(out);
+}
+
+Schema AllInlined(const Schema& schema, bool flatten_unions) {
+  Schema out = Normalize(schema);
+  if (flatten_unions) {
+    std::vector<std::string> names = out.type_names();
+    for (const auto& name : names) {
+      out.Define(name, FlattenUnions(out.Get(name)));
+    }
+    out = Normalize(out);
+  }
+  // Inline to fixpoint.
+  while (true) {
+    std::vector<std::string> candidates = EnumerateInlineCandidates(out);
+    if (candidates.empty()) break;
+    bool progressed = false;
+    for (const auto& name : candidates) {
+      auto next = InlineType(out, name);
+      if (next.ok()) {
+        out = std::move(next).value();
+        progressed = true;
+        break;  // candidate list is stale after a rewrite
+      }
+    }
+    if (!progressed) break;
+  }
+  out.GarbageCollect();
+  // Inlining can fold several references to the same shared type into one
+  // body; re-normalize so repeated references get disambiguated.
+  return Normalize(out);
+}
+
+TypePtr NodeAt(const TypePtr& type, const NodePath& path) {
+  TypePtr cur = type;
+  for (int idx : path) {
+    if (!cur) return nullptr;
+    if (cur->child) {
+      if (idx != 0) return nullptr;
+      cur = cur->child;
+    } else if (idx >= 0 && static_cast<size_t>(idx) < cur->children.size()) {
+      cur = cur->children[idx];
+    } else {
+      return nullptr;
+    }
+  }
+  return cur;
+}
+
+TypePtr ReplaceAt(const TypePtr& type, const NodePath& path,
+                  TypePtr replacement) {
+  if (path.empty()) return replacement;
+  int idx = path[0];
+  NodePath rest(path.begin() + 1, path.end());
+  if (type->child) {
+    assert(idx == 0);
+    TypePtr new_child = ReplaceAt(type->child, rest, std::move(replacement));
+    switch (type->kind) {
+      case Type::Kind::kElement:
+        return Type::Element(type->name, std::move(new_child));
+      case Type::Kind::kAttribute:
+        return Type::Attribute(type->name.name, std::move(new_child));
+      case Type::Kind::kRepetition:
+        return Type::Repetition(std::move(new_child), type->min_occurs,
+                                type->max_occurs, type->avg_count);
+      default:
+        assert(false && "unexpected single-child node");
+        return type;
+    }
+  }
+  std::vector<TypePtr> children = type->children;
+  assert(idx >= 0 && static_cast<size_t>(idx) < children.size());
+  children[idx] = ReplaceAt(children[idx], rest, std::move(replacement));
+  return type->kind == Type::Kind::kSequence ? Type::Sequence(std::move(children))
+                                             : Type::Union(std::move(children));
+}
+
+StatusOr<Schema> OutlineAt(const Schema& schema, const std::string& type_name,
+                           const NodePath& path, std::string* out_new_type) {
+  TypePtr body = schema.Find(type_name);
+  if (!body) return Status::NotFound("type '" + type_name + "' not defined");
+  TypePtr node = NodeAt(body, path);
+  if (!node) return Status::InvalidArgument("bad node path");
+  if (node->kind != Type::Kind::kElement) {
+    return Status::InvalidArgument("can only outline elements");
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("cannot outline the body root element");
+  }
+  Schema out = schema;
+  std::string new_name = OutlineInto(&out, node);
+  out.Define(type_name, ReplaceAt(body, path, Type::Ref(new_name)));
+  if (out_new_type) *out_new_type = new_name;
+  return out;
+}
+
+StatusOr<Schema> InlineType(const Schema& schema,
+                            const std::string& type_name) {
+  if (type_name == schema.root_type()) {
+    return Status::InvalidArgument("cannot inline the root type");
+  }
+  if (!schema.Has(type_name)) {
+    return Status::NotFound("type '" + type_name + "' not defined");
+  }
+  if (schema.IsRecursive(type_name)) {
+    return Status::InvalidArgument("cannot inline recursive type '" +
+                                   type_name + "'");
+  }
+  auto occurrences = CollectRefOccurrences(schema);
+  auto it = occurrences.find(type_name);
+  if (it == occurrences.end()) {
+    return Status::InvalidArgument("type '" + type_name + "' is unreferenced");
+  }
+  if (it->second.size() != 1) {
+    return Status::InvalidArgument("type '" + type_name +
+                                   "' is shared; cannot inline");
+  }
+  const RefOccurrence& occ = it->second[0];
+  if (!occ.inlinable) {
+    return Status::InvalidArgument(
+        "type '" + type_name +
+        "' is referenced inside a union or repetition; cannot inline");
+  }
+  Schema out = schema;
+  TypePtr body = schema.Get(type_name);
+  out.Define(occ.owner,
+             SubstituteRef(schema.Get(occ.owner), type_name, body));
+  out.Undefine(type_name);
+  return out;
+}
+
+std::vector<OutlineCandidate> EnumerateOutlineCandidates(
+    const Schema& schema) {
+  std::vector<OutlineCandidate> candidates;
+  for (const auto& name : schema.type_names()) {
+    std::function<void(const TypePtr&, NodePath*)> walk = [&](const TypePtr& t,
+                                                              NodePath* path) {
+      // Record element nodes strictly below the body root.
+      if (t->kind == Type::Kind::kElement && !path->empty()) {
+        candidates.push_back(
+            OutlineCandidate{name, *path, t->name.ToString()});
+      }
+      if (t->child) {
+        path->push_back(0);
+        walk(t->child, path);
+        path->pop_back();
+      }
+      for (size_t i = 0; i < t->children.size(); ++i) {
+        path->push_back(static_cast<int>(i));
+        walk(t->children[i], path);
+        path->pop_back();
+      }
+    };
+    NodePath path;
+    walk(schema.Get(name), &path);
+  }
+  return candidates;
+}
+
+std::vector<std::string> EnumerateInlineCandidates(const Schema& schema) {
+  std::vector<std::string> result;
+  auto occurrences = CollectRefOccurrences(schema);
+  for (const auto& name : schema.type_names()) {
+    if (name == schema.root_type()) continue;
+    auto it = occurrences.find(name);
+    if (it == occurrences.end() || it->second.size() != 1) continue;
+    if (!it->second[0].inlinable) continue;
+    if (schema.IsRecursive(name)) continue;
+    result.push_back(name);
+  }
+  return result;
+}
+
+}  // namespace legodb::ps

@@ -1,0 +1,96 @@
+#include "relational/catalog.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace legodb::rel {
+
+std::string SqlType::ToString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return "INT";
+    case Kind::kChar:
+      return "CHAR(" + std::to_string(static_cast<int64_t>(width)) + ")";
+    case Kind::kVarchar:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Table::RowWidth() const {
+  double width = kRowOverheadBytes;
+  for (const auto& col : columns) {
+    width += col.type.width * (1.0 - col.null_fraction) +
+             (col.nullable ? 1 : 0);  // null bitmap byte
+  }
+  return width;
+}
+
+const Column* Table::FindColumn(const std::string& name) const {
+  for (const auto& col : columns) {
+    if (col.name == name) return &col;
+  }
+  return nullptr;
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Catalog::AddTable(Table table) {
+  assert(!tables_.count(table.name) && "duplicate table");
+  names_.push_back(table.name);
+  tables_[table.name] = std::move(table);
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const Table& Catalog::GetTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  assert(t && "Catalog::GetTable: unknown table");
+  return *t;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+double Catalog::TotalBytes() const {
+  double total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table.row_count * table.RowWidth();
+  }
+  return total;
+}
+
+std::string Catalog::ToDdl() const {
+  std::string out;
+  for (const auto& name : names_) {
+    const Table& t = tables_.at(name);
+    out += "TABLE " + t.name + " (";
+    for (size_t i = 0; i < t.columns.size(); ++i) {
+      const Column& c = t.columns[i];
+      if (i > 0) out += ",";
+      out += "\n  " + c.name + " " + c.type.ToString();
+      if (c.nullable) out += " NULL";
+      if (c.name == t.key_column) out += " PRIMARY KEY";
+    }
+    for (const auto& fk : t.foreign_keys) {
+      out += ",\n  FOREIGN KEY (" + fk.column + ") REFERENCES " +
+             fk.parent_table;
+    }
+    out += "\n)  -- " + std::to_string(static_cast<int64_t>(t.row_count)) +
+           " rows, width " +
+           std::to_string(static_cast<int64_t>(std::llround(t.RowWidth()))) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace legodb::rel

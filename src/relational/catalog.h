@@ -1,0 +1,97 @@
+#ifndef LEGODB_RELATIONAL_CATALOG_H_
+#define LEGODB_RELATIONAL_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace legodb::rel {
+
+// SQL column types produced by the fixed mapping (Table 1 of the paper).
+struct SqlType {
+  enum class Kind { kInt, kChar, kVarchar };
+
+  static SqlType Int() { return SqlType{Kind::kInt, 4}; }
+  static SqlType Char(double size) { return SqlType{Kind::kChar, size}; }
+  static SqlType Varchar(double avg_size) {
+    return SqlType{Kind::kVarchar, avg_size};
+  }
+
+  std::string ToString() const;
+
+  Kind kind = Kind::kInt;
+  // Storage width in bytes (average width for varchar).
+  double width = 4;
+
+  bool operator==(const SqlType&) const = default;
+};
+
+// Per-column statistics used by the optimizer's cardinality estimation.
+struct Column {
+  std::string name;
+  SqlType type;
+  bool nullable = false;
+  // Fraction of rows where the column is NULL.
+  double null_fraction = 0;
+  // Number of distinct non-null values (>= 1 when the table is non-empty).
+  double distincts = 1;
+  // Value range, meaningful for integer columns.
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+// A foreign key column referencing the key of a parent table.
+struct ForeignKey {
+  std::string column;        // e.g. "parent_Show"
+  std::string parent_table;  // e.g. "Show"
+};
+
+struct Table {
+  std::string name;
+  // Primary key column (always "<name>_id").
+  std::string key_column;
+  std::vector<Column> columns;  // includes key and FK columns
+  std::vector<ForeignKey> foreign_keys;
+  double row_count = 0;
+
+  // Sum of column widths (plus a fixed per-row overhead).
+  double RowWidth() const;
+
+  const Column* FindColumn(const std::string& name) const;
+  int ColumnIndex(const std::string& name) const;  // -1 if absent
+
+  static constexpr double kRowOverheadBytes = 8;
+};
+
+// The relational configuration rel(ps): schema plus statistics, i.e. the
+// "relational catalog" box of Figure 7.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  void AddTable(Table table);
+  const Table* FindTable(const std::string& name) const;
+  const Table& GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  const std::vector<std::string>& table_names() const { return names_; }
+  size_t size() const { return names_.size(); }
+
+  // Total data size in bytes across all tables.
+  double TotalBytes() const;
+
+  // CREATE TABLE statements for the whole configuration.
+  std::string ToDdl() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace legodb::rel
+
+#endif  // LEGODB_RELATIONAL_CATALOG_H_

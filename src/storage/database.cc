@@ -1,0 +1,88 @@
+#include "storage/database.h"
+
+#include <cassert>
+
+namespace legodb::store {
+
+void StoredTable::Insert(Row row) {
+  assert(row.size() == meta_.columns.size());
+  rows_.push_back(std::move(row));
+  indexes_.clear();  // indexes are rebuilt lazily after loading
+}
+
+void StoredTable::RemoveLastRows(size_t n) {
+  assert(n <= rows_.size());
+  rows_.resize(rows_.size() - n);
+  indexes_.clear();
+}
+
+void StoredTable::EnsureIndex(const std::string& column) {
+  if (indexes_.count(column)) return;
+  int idx = meta_.ColumnIndex(column);
+  assert(idx >= 0 && "EnsureIndex: unknown column");
+  auto& index = indexes_[column];
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Value& v = rows_[i][idx];
+    if (v.is_null()) continue;
+    index[v].push_back(i);
+  }
+}
+
+bool StoredTable::HasIndex(const std::string& column) const {
+  return indexes_.count(column) > 0;
+}
+
+const std::vector<size_t>* StoredTable::Probe(const std::string& column,
+                                              const Value& key) const {
+  auto table_it = indexes_.find(column);
+  if (table_it == indexes_.end()) return nullptr;
+  auto it = table_it->second.find(key);
+  if (it == table_it->second.end()) {
+    static const std::vector<size_t> kEmpty;
+    return &kEmpty;
+  }
+  return &it->second;
+}
+
+Database::Database(const rel::Catalog& catalog) {
+  for (const auto& name : catalog.table_names()) {
+    tables_.emplace(name, StoredTable(catalog.GetTable(name)));
+  }
+}
+
+StoredTable* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const StoredTable* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+StoredTable& Database::GetTable(const std::string& name) {
+  StoredTable* t = FindTable(name);
+  assert(t && "Database::GetTable: unknown table");
+  return *t;
+}
+
+const StoredTable& Database::GetTable(const std::string& name) const {
+  const StoredTable* t = FindTable(name);
+  assert(t && "Database::GetTable: unknown table");
+  return *t;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table.row_count();
+  return total;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace legodb::store

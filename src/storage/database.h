@@ -1,0 +1,74 @@
+#ifndef LEGODB_STORAGE_DATABASE_H_
+#define LEGODB_STORAGE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "relational/catalog.h"
+
+namespace legodb::store {
+
+using Row = std::vector<Value>;
+
+// An in-memory heap table with optional hash indexes, laid out per the
+// catalog's column order.
+class StoredTable {
+ public:
+  explicit StoredTable(rel::Table meta) : meta_(std::move(meta)) {}
+
+  const rel::Table& meta() const { return meta_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  // Appends a row; must have one value per column.
+  void Insert(Row row);
+  void RemoveLastRows(size_t n);  // shredder rollback support
+
+  // Builds (or reuses) a hash index on `column`; invalidated by inserts.
+  void EnsureIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+  // Row indices whose `column` equals `key` (empty if none / no index).
+  const std::vector<size_t>* Probe(const std::string& column,
+                                   const Value& key) const;
+
+ private:
+  rel::Table meta_;
+  std::vector<Row> rows_;
+  std::map<std::string,
+           std::unordered_map<Value, std::vector<size_t>, ValueHash>>
+      indexes_;
+};
+
+// A relational database instance for one storage configuration.
+class Database {
+ public:
+  // Creates empty tables for every table in the catalog.
+  explicit Database(const rel::Catalog& catalog);
+
+  StoredTable* FindTable(const std::string& name);
+  const StoredTable* FindTable(const std::string& name) const;
+  StoredTable& GetTable(const std::string& name);
+  const StoredTable& GetTable(const std::string& name) const;
+
+  // Fresh unique id for a new row (shared across tables, like the paper's
+  // element node ids).
+  int64_t NextId() { return next_id_++; }
+
+  // Total number of rows across all tables.
+  size_t TotalRows() const;
+
+  std::vector<std::string> table_names() const;
+
+ private:
+  std::map<std::string, StoredTable> tables_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace legodb::store
+
+#endif  // LEGODB_STORAGE_DATABASE_H_

@@ -1,0 +1,633 @@
+#include "translate/translate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+
+#include "common/str_util.h"
+#include "xquery/evaluator.h"
+
+namespace legodb::xlat {
+namespace {
+
+using map::ChildRef;
+using map::Mapping;
+using map::RelPath;
+using map::Slot;
+using map::TypeMapping;
+
+// A navigation position: a base relation in the block under construction, the
+// named type it instantiates, and the inline path inside that type's body.
+struct Pos {
+  int rel = -1;  // -1: unbound (outer-join miss), yields NULLs
+  std::string type;
+  RelPath path;
+};
+
+// One UNION ALL branch under construction.
+struct World {
+  opt::QueryBlock block;
+  std::map<std::string, Pos> vars;
+  std::vector<opt::ColumnRef> outputs;
+  std::vector<std::string> publish_vars;
+  bool dead = false;
+};
+
+bool PathHasPrefix(const RelPath& path, const RelPath& prefix) {
+  if (path.size() < prefix.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), path.begin());
+}
+
+// Scalar (non-tilde) slot exactly at `path`.
+const Slot* ScalarSlotAt(const TypeMapping& tm, const RelPath& path) {
+  for (const auto& slot : tm.slots) {
+    if (!slot.is_tilde && slot.path == path) return &slot;
+  }
+  return nullptr;
+}
+
+const Slot* TildeSlotAt(const TypeMapping& tm, const RelPath& path) {
+  for (const auto& slot : tm.slots) {
+    if (slot.is_tilde && slot.path == path) return &slot;
+  }
+  return nullptr;
+}
+
+// Any slot or child reference strictly inside `prefix`?
+bool HasContentUnder(const TypeMapping& tm, const RelPath& prefix) {
+  for (const auto& slot : tm.slots) {
+    if (PathHasPrefix(slot.path, prefix)) return true;
+  }
+  for (const auto& child : tm.children) {
+    if (PathHasPrefix(child.path, prefix)) return true;
+  }
+  return false;
+}
+
+class Translator {
+ public:
+  Translator(const xq::Query& query, const Mapping& mapping)
+      : q_(query), m_(mapping) {}
+
+  StatusOr<opt::RelQuery> Run() {
+    std::vector<World> worlds(1);
+    LEGODB_RETURN_IF_ERROR(TranslateBody(q_, &worlds, /*outer_mode=*/false));
+
+    opt::RelQuery out;
+    out.labels = xq::QueryLabels(q_);
+    bool publish = false;
+    for (const auto& w : worlds) publish |= !w.publish_vars.empty();
+    out.publish = publish;
+    std::set<std::string> published;  // types already dumped (see below)
+
+    for (World& w : worlds) {
+      if (w.dead || w.block.rels.empty()) continue;
+      if (!publish) {
+        // Prune union branches in which every returned path is statically
+        // absent: the branch contributes no data (e.g. asking for
+        // `description` in the Movie partition of a distributed Show).
+        bool any_value = w.outputs.empty();
+        for (const auto& o : w.outputs) any_value |= o.rel >= 0;
+        if (!any_value) continue;
+        w.block.output = w.outputs;
+        out.blocks.push_back(std::move(w.block));
+        continue;
+      }
+      // Publish: the main block carries the scalar outputs plus the
+      // published types' own columns; one extra block per descendant table
+      // (the outer-union reconstruction strategy). When the binding context
+      // has no filters ("publish everything"), the blocks degenerate to
+      // plain table scans — no ancestor joins are needed to identify the
+      // published rows.
+      bool unfiltered = w.block.filters.empty() && w.outputs.empty();
+      opt::QueryBlock base = w.block;  // binding context, no outputs yet
+      if (unfiltered) {
+        for (const auto& var : w.publish_vars) {
+          const Pos& pos = w.vars.at(var);
+          if (pos.rel < 0) continue;
+          // `published` is shared across union worlds: partitions of one
+          // logical type (e.g. Show_Part1/Show_Part2) share child tables,
+          // and each table needs dumping only once.
+          EmitPublishScans(pos.type, &published, &out.blocks);
+        }
+        continue;
+      }
+      opt::QueryBlock main = base;
+      main.output = w.outputs;
+      std::vector<opt::QueryBlock> extra;
+      for (const auto& var : w.publish_vars) {
+        const Pos& pos = w.vars.at(var);
+        if (pos.rel < 0) continue;
+        AppendAllColumns(&main, pos.rel);
+        EmitDescendantBlocks(base, pos, &extra);
+      }
+      out.blocks.push_back(std::move(main));
+      for (auto& b : extra) out.blocks.push_back(std::move(b));
+    }
+    return out;
+  }
+
+ private:
+  // ---- block building helpers ----
+
+  static int AddRel(opt::QueryBlock* block, const std::string& table) {
+    opt::BaseRel rel;
+    rel.table = table;
+    rel.alias = table + "#" + std::to_string(block->rels.size());
+    block->rels.push_back(std::move(rel));
+    return static_cast<int>(block->rels.size()) - 1;
+  }
+
+  void AppendAllColumns(opt::QueryBlock* block, int rel) const {
+    const rel::Table& table =
+        m_.catalog().GetTable(block->rels[rel].table);
+    for (const auto& col : table.columns) {
+      opt::ColumnRef ref;
+      ref.rel = rel;
+      ref.column = col.name;
+      ref.label = block->rels[rel].alias + "." + col.name;
+      block->output.push_back(std::move(ref));
+    }
+  }
+
+  // Joins child type `child` (non-virtual) under `parent_rel` of type
+  // `parent_type`; returns the child's new rel index, or -1 when no FK links
+  // them (should not happen on well-formed mappings).
+  int JoinChild(opt::QueryBlock* block, int parent_rel,
+                const std::string& parent_type, const std::string& child,
+                bool outer) const {
+    const TypeMapping& ctm = m_.GetType(child);
+    const std::string* fk = nullptr;
+    for (const auto& link : ctm.parents) {
+      if (link.parent_type == parent_type) {
+        fk = &link.fk_column;
+        break;
+      }
+    }
+    if (!fk) return -1;
+    int rel = AddRel(block, ctm.table);
+    const rel::Table& ptable = m_.catalog().GetTable(
+        m_.GetType(parent_type).table);
+    opt::JoinEdge edge;
+    edge.left_rel = parent_rel;
+    edge.left_column = ptable.key_column;
+    edge.right_rel = rel;
+    edge.right_column = *fk;
+    edge.left_outer = outer;
+    block->joins.push_back(std::move(edge));
+    return rel;
+  }
+
+  void AddTildeFilter(World* w, int rel, const std::string& type,
+                      const RelPath& tilde_path, const std::string& tag) const {
+    const Slot* tilde = TildeSlotAt(m_.GetType(type), tilde_path);
+    if (!tilde) return;
+    opt::FilterPred pred;
+    pred.rel = rel;
+    pred.column = tilde->column;
+    pred.value = xq::Constant::Str(tag);
+    w->block.filters.push_back(std::move(pred));
+  }
+
+  // ---- navigation ----
+
+  struct Route {
+    World world;
+    Pos pos;
+  };
+
+  // All ways one step `s` can proceed from `pos` in world `w`. Path
+  // components may carry ordinal suffixes ("~#2"); each matching component
+  // is its own route.
+  std::vector<Route> StepFrom(const World& w, const Pos& pos,
+                              const std::string& s, bool outer) const {
+    std::vector<Route> routes;
+    if (pos.rel < 0) return routes;
+    const TypeMapping& tm = m_.GetType(pos.type);
+
+    // Distinct components that extend the current inline path by one step.
+    std::set<std::string> comps;
+    auto scan = [&](const RelPath& p) {
+      if (p.size() > pos.path.size() &&
+          std::equal(pos.path.begin(), pos.path.end(), p.begin())) {
+        comps.insert(p[pos.path.size()]);
+      }
+    };
+    for (const auto& slot : tm.slots) scan(slot.path);
+    for (const auto& child : tm.children) scan(child.path);
+
+    // (1) inline element / attribute / wildcard content.
+    bool matched_elem = false;
+    for (const std::string& comp : comps) {
+      std::string base = map::BaseStep(comp);
+      RelPath cand = pos.path;
+      cand.push_back(comp);
+      if (StartsWith(s, "@")) {
+        if (comp == s) {
+          routes.push_back(Route{w, Pos{pos.rel, pos.type, cand}});
+        }
+        continue;
+      }
+      if (base == s) {
+        routes.push_back(Route{w, Pos{pos.rel, pos.type, cand}});
+        matched_elem = true;
+      } else if (base == "~") {
+        const Slot* tilde = TildeSlotAt(tm, cand);
+        if (tilde && tilde->wildcard_name.Matches(s)) {
+          World w2 = w;
+          AddTildeFilter(&w2, pos.rel, pos.type, cand, s);
+          routes.push_back(
+              Route{std::move(w2), Pos{pos.rel, pos.type, cand}});
+        }
+      }
+    }
+    // Plain-name fallback to an attribute (the paper's Q1 writes $v/type).
+    if (!StartsWith(s, "@") && !matched_elem && comps.count("@" + s)) {
+      RelPath cand = pos.path;
+      cand.push_back("@" + s);
+      routes.push_back(Route{w, Pos{pos.rel, pos.type, cand}});
+    }
+
+    // (2) cross into child types referenced at this position.
+    if (!StartsWith(s, "@")) {
+      for (const ChildRef* child : ChildRefsAt(tm, pos.path)) {
+        EnterChild(w, pos.rel, pos.type, child->type_name, s, outer,
+                   /*depth=*/0, &routes);
+      }
+    }
+    return routes;
+  }
+
+  std::vector<const ChildRef*> ChildRefsAt(const TypeMapping& tm,
+                                           const RelPath& path) const {
+    std::vector<const ChildRef*> out;
+    for (const auto& child : tm.children) {
+      if (child.path == path) out.push_back(&child);
+    }
+    return out;
+  }
+
+  // Tries to enter child type `child` with step `s` from `parent_rel`
+  // (of non-virtual type `parent_type`), expanding virtual unions and
+  // hopping through top-level references.
+  void EnterChild(const World& w, int parent_rel,
+                  const std::string& parent_type, const std::string& child,
+                  const std::string& s, bool outer, int depth,
+                  std::vector<Route>* routes) const {
+    if (depth > 8) return;
+    const TypeMapping& ctm = m_.GetType(child);
+    if (ctm.virtual_union) {
+      for (const auto& alt : ctm.union_alternatives) {
+        EnterChild(w, parent_rel, parent_type, alt, s, outer, depth + 1,
+                   routes);
+      }
+      return;
+    }
+    // Direct entry: a top-level component of the child matches `s`
+    // (components may carry ordinal suffixes).
+    std::set<std::string> tried;
+    auto try_entry = [&](const std::string& comp) {
+      if (!tried.insert(comp).second) return;
+      std::string base = map::BaseStep(comp);
+      if (base == "~") {
+        const Slot* tilde = TildeSlotAt(ctm, {comp});
+        if (!tilde || !tilde->wildcard_name.Matches(s)) return;
+        World w2 = w;
+        int rel = JoinChild(&w2.block, parent_rel, parent_type, child, outer);
+        if (rel < 0) return;
+        AddTildeFilter(&w2, rel, child, {comp}, s);
+        routes->push_back(Route{std::move(w2), Pos{rel, child, {comp}}});
+      } else if (base == s) {
+        World w2 = w;
+        int rel = JoinChild(&w2.block, parent_rel, parent_type, child, outer);
+        if (rel < 0) return;
+        routes->push_back(Route{std::move(w2), Pos{rel, child, {comp}}});
+      }
+    };
+    for (const auto& slot : ctm.slots) {
+      if (!slot.path.empty() && !StartsWith(slot.path[0], "@")) {
+        try_entry(slot.path[0]);
+      }
+    }
+    for (const auto& cref : ctm.children) {
+      if (!cref.path.empty()) {
+        try_entry(cref.path[0]);
+      } else {
+        // Top-level reference inside the child: join the child, then try to
+        // enter the grandchild.
+        World w2 = w;
+        int rel = JoinChild(&w2.block, parent_rel, parent_type, child, outer);
+        if (rel < 0) continue;
+        EnterChild(w2, rel, child, cref.type_name, s, outer, depth + 1,
+                   routes);
+      }
+    }
+  }
+
+  // Navigates a multi-step path; each element of the result is one complete
+  // route (its own world branch).
+  std::vector<Route> NavigatePath(const World& w, const Pos& start,
+                                  const std::vector<std::string>& steps,
+                                  bool outer) const {
+    std::vector<Route> current = {Route{w, start}};
+    for (const auto& step : steps) {
+      std::vector<Route> next;
+      for (const auto& route : current) {
+        std::vector<Route> expanded =
+            StepFrom(route.world, route.pos, step, outer);
+        next.insert(next.end(), expanded.begin(), expanded.end());
+      }
+      current = std::move(next);
+      if (current.empty()) break;
+    }
+    return current;
+  }
+
+  // Navigates to a scalar value: the terminal position must hold a scalar
+  // slot (the element's own content).
+  struct ScalarRoute {
+    World world;
+    int rel;
+    std::string column;
+    bool nullable = false;
+  };
+  std::vector<ScalarRoute> NavigateToScalar(
+      const World& w, const xq::PathExpr& path) const {
+    std::vector<ScalarRoute> out;
+    auto it = w.vars.find(path.var);
+    if (it == w.vars.end()) return out;
+    for (auto& route : NavigatePath(w, it->second, path.steps,
+                                    /*outer=*/false)) {
+      if (route.pos.rel < 0) continue;
+      const Slot* slot =
+          ScalarSlotAt(m_.GetType(route.pos.type), route.pos.path);
+      if (!slot) continue;
+      out.push_back(ScalarRoute{std::move(route.world), route.pos.rel,
+                                slot->column, slot->optional});
+    }
+    return out;
+  }
+
+  // ---- clause translation ----
+
+  Status BindFor(const xq::ForBinding& b, std::vector<World>* worlds,
+                 bool outer_mode) const {
+    std::vector<World> next;
+    for (World& w : *worlds) {
+      if (w.dead) continue;
+      std::vector<Route> routes;
+      if (b.from_document) {
+        if (b.steps.empty()) {
+          return Status::Unsupported("document() binding needs a path");
+        }
+        const std::string& root = m_.schema().root_type();
+        const TypeMapping& rtm = m_.GetType(root);
+        if (rtm.virtual_union) {
+          return Status::Unsupported("virtual root type");
+        }
+        World w2 = w;
+        int rel = AddRel(&w2.block, rtm.table);
+        // The first step names the root element itself.
+        RelPath entry = {b.steps[0]};
+        if (ScalarSlotAt(rtm, entry) || HasContentUnder(rtm, entry) ||
+            !ChildRefsAt(rtm, entry).empty()) {
+          Pos pos{rel, root, entry};
+          std::vector<std::string> rest(b.steps.begin() + 1, b.steps.end());
+          routes = NavigatePath(w2, pos, rest, /*outer=*/outer_mode);
+        }
+      } else {
+        auto it = w.vars.find(b.source_var);
+        if (it == w.vars.end()) {
+          return Status::InvalidArgument("unbound variable $" + b.source_var);
+        }
+        routes = NavigatePath(w, it->second, b.steps, outer_mode);
+      }
+      if (routes.empty()) {
+        if (outer_mode) {
+          // Left outer: keep the world, variable is unbound (NULL columns).
+          World w2 = w;
+          w2.vars[b.var] = Pos{-1, "", {}};
+          next.push_back(std::move(w2));
+        }
+        // Inner: binding can never match in this branch; world dropped.
+        continue;
+      }
+      for (auto& route : routes) {
+        World w2 = std::move(route.world);
+        w2.vars[b.var] = route.pos;
+        next.push_back(std::move(w2));
+      }
+    }
+    *worlds = std::move(next);
+    return Status::OK();
+  }
+
+  Status ApplyPredicate(const xq::Predicate& p,
+                        std::vector<World>* worlds) const {
+    std::vector<World> next;
+    for (World& w : *worlds) {
+      if (w.dead) continue;
+      std::vector<ScalarRoute> lhs = NavigateToScalar(w, p.lhs);
+      for (auto& route : lhs) {
+        if (!p.rhs_is_path) {
+          World w2 = std::move(route.world);
+          opt::FilterPred pred;
+          pred.rel = route.rel;
+          pred.column = route.column;
+          pred.op = p.op;
+          pred.value = p.rhs_const;
+          w2.block.filters.push_back(std::move(pred));
+          next.push_back(std::move(w2));
+          continue;
+        }
+        if (p.op != xq::CompareOp::kEq) {
+          return Status::Unsupported("non-equality value joins");
+        }
+        // Value join: navigate the right-hand path inside this route.
+        std::vector<ScalarRoute> rhs =
+            NavigateToScalar(route.world, p.rhs_path);
+        for (auto& rroute : rhs) {
+          World w2 = std::move(rroute.world);
+          opt::JoinEdge edge;
+          edge.left_rel = route.rel;
+          edge.left_column = route.column;
+          edge.right_rel = rroute.rel;
+          edge.right_column = rroute.column;
+          w2.block.joins.push_back(std::move(edge));
+          next.push_back(std::move(w2));
+        }
+      }
+      // No routes: predicate unsatisfiable in this branch; world dropped.
+    }
+    *worlds = std::move(next);
+    return Status::OK();
+  }
+
+  Status EmitReturnPath(const xq::PathExpr& path, std::vector<World>* worlds,
+                        bool outer_mode) const {
+    std::string label = path.ToString();
+    std::vector<World> next;
+    for (World& w : *worlds) {
+      if (w.dead) continue;
+      auto it = w.vars.find(path.var);
+      std::vector<ScalarRoute> routes;
+      if (it != w.vars.end() && it->second.rel >= 0) {
+        // Strict projection semantics: a return path is an inner join; a
+        // union branch where the path is statically absent dies. Inside an
+        // outer-joined subquery the joins preserve the outer rows instead.
+        for (auto& route :
+             NavigatePath(w, it->second, path.steps, /*outer=*/outer_mode)) {
+          if (route.pos.rel < 0) continue;
+          const Slot* slot =
+              ScalarSlotAt(m_.GetType(route.pos.type), route.pos.path);
+          if (!slot) continue;
+          routes.push_back(ScalarRoute{std::move(route.world), route.pos.rel,
+                                       slot->column, slot->optional});
+        }
+      }
+      if (routes.empty()) {
+        if (outer_mode) {
+          // Keep the outer row; the missing value renders as NULL.
+          World w2 = std::move(w);
+          opt::ColumnRef ref;
+          ref.rel = -1;
+          ref.label = label;
+          w2.outputs.push_back(std::move(ref));
+          next.push_back(std::move(w2));
+        }
+        // Strict mode: branch produces no rows; world dropped.
+        continue;
+      }
+      for (auto& route : routes) {
+        World w2 = std::move(route.world);
+        opt::ColumnRef ref;
+        ref.rel = route.rel;
+        ref.column = route.column;
+        ref.label = label;
+        // Strict projection over a nullable inlined column: rows where the
+        // value is absent are filtered out (IS NOT NULL).
+        if (!outer_mode && route.nullable) {
+          opt::FilterPred pred;
+          pred.rel = route.rel;
+          pred.column = route.column;
+          pred.not_null = true;
+          w2.block.filters.push_back(std::move(pred));
+        }
+        w2.outputs.push_back(std::move(ref));
+        next.push_back(std::move(w2));
+      }
+    }
+    *worlds = std::move(next);
+    return Status::OK();
+  }
+
+  Status TranslateBody(const xq::Query& q, std::vector<World>* worlds,
+                       bool outer_mode) const {
+    for (const auto& b : q.fors) {
+      LEGODB_RETURN_IF_ERROR(BindFor(b, worlds, outer_mode));
+    }
+    for (const auto& p : q.where) {
+      LEGODB_RETURN_IF_ERROR(ApplyPredicate(p, worlds));
+    }
+    for (const xq::ReturnItem* item : q.FlatReturnItems()) {
+      switch (item->kind) {
+        case xq::ReturnItem::Kind::kPath:
+          if (item->path.steps.empty()) {
+            for (World& w : *worlds) {
+              if (!w.dead) w.publish_vars.push_back(item->path.var);
+            }
+          } else {
+            LEGODB_RETURN_IF_ERROR(
+                EmitReturnPath(item->path, worlds, outer_mode));
+          }
+          break;
+        case xq::ReturnItem::Kind::kSubquery: {
+          bool sub_outer = item->subquery->where.empty();
+          LEGODB_RETURN_IF_ERROR(
+              TranslateBody(*item->subquery, worlds, sub_outer));
+          break;
+        }
+        case xq::ReturnItem::Kind::kElement:
+          return Status::Internal("element items are pre-flattened");
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- publish ----
+
+  // Unfiltered publish: one single-table scan block per concrete type
+  // reachable from `type` (including itself), each type emitted once.
+  void EmitPublishScans(const std::string& type, std::set<std::string>* done,
+                        std::vector<opt::QueryBlock>* out) const {
+    std::function<void(const std::string&, int)> visit =
+        [&](const std::string& name, int depth) {
+          if (depth > 16 || !done->insert(name).second) return;
+          const TypeMapping& tm = m_.GetType(name);
+          if (!tm.virtual_union) {
+            opt::QueryBlock block;
+            int rel = AddRel(&block, tm.table);
+            AppendAllColumns(&block, rel);
+            out->push_back(std::move(block));
+          }
+          for (const auto& child : tm.children) {
+            visit(child.type_name, depth + 1);
+          }
+        };
+    visit(type, 0);
+  }
+
+  // Emits one block per descendant table of the published position:
+  // binding context + inner joins down the chain + all columns of the leaf.
+  void EmitDescendantBlocks(const opt::QueryBlock& base, const Pos& pos,
+                            std::vector<opt::QueryBlock>* out) const {
+    struct Frame {
+      opt::QueryBlock block;
+      int rel;
+      std::string type;
+      int depth;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{base, pos.rel, pos.type, 0});
+    int emitted = 0;
+    while (!stack.empty() && emitted < 256) {
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      if (f.depth > 8) continue;
+      const TypeMapping& tm = m_.GetType(f.type);
+      std::function<void(const std::string&, int)> descend =
+          [&](const std::string& child, int vdepth) {
+            const TypeMapping& ctm = m_.GetType(child);
+            if (ctm.virtual_union) {
+              if (vdepth > 8) return;
+              for (const auto& alt : ctm.union_alternatives) {
+                descend(alt, vdepth + 1);
+              }
+              return;
+            }
+            opt::QueryBlock block = f.block;
+            int rel = JoinChild(&block, f.rel, f.type, child, /*outer=*/false);
+            if (rel < 0) return;
+            opt::QueryBlock leaf = block;
+            AppendAllColumns(&leaf, rel);
+            out->push_back(std::move(leaf));
+            ++emitted;
+            stack.push_back(Frame{std::move(block), rel, child, f.depth + 1});
+          };
+      for (const auto& child : tm.children) descend(child.type_name, 0);
+    }
+  }
+
+  const xq::Query& q_;
+  const Mapping& m_;
+};
+
+}  // namespace
+
+StatusOr<opt::RelQuery> TranslateQuery(const xq::Query& query,
+                                       const Mapping& mapping) {
+  return Translator(query, mapping).Run();
+}
+
+}  // namespace legodb::xlat

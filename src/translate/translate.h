@@ -1,0 +1,45 @@
+#ifndef LEGODB_TRANSLATE_TRANSLATE_H_
+#define LEGODB_TRANSLATE_TRANSLATE_H_
+
+#include "common/status.h"
+#include "mapping/mapping.h"
+#include "optimizer/plan.h"
+#include "xquery/ast.h"
+
+namespace legodb::xlat {
+
+// Translates an XQuery (the supported FLWR subset) into relational query
+// blocks against the relational configuration of `mapping` — the
+// Query/Schema Translation module of Figure 7.
+//
+// Semantics (mirroring xquery::EvaluateOnDocument):
+//  - each FOR variable binds to a named type; when a binding resolves to a
+//    union of types (a union-distributed schema), the query splits into one
+//    block per combination of alternatives (UNION ALL);
+//  - path steps that stay inside one type's inlined content become column
+//    accesses; steps that cross a type reference become foreign-key joins;
+//  - steps through wildcard positions add equality predicates on the
+//    `tilde` tag-name column;
+//  - WHERE predicates become filters (constants) or join edges (path=path);
+//    a block whose predicate path cannot exist in its union alternative is
+//    pruned;
+//  - return paths that cross type references use left outer joins (a
+//    missing value yields NULL, like the DOM evaluator); nested FLWR return
+//    items translate into the same block — left outer when they have no
+//    WHERE clause, inner otherwise;
+//  - a bare `$v` return item marks a publish query: the result contains one
+//    block per table reachable from the variable's type (the variable's own
+//    table plus each descendant), each block joining the binding context
+//    down to that table and outputting all its columns. This is the
+//    outer-union document-reconstruction strategy.
+//
+// Known approximations (documented in DESIGN.md): predicate paths that
+// cross multi-valued type references use regular joins rather than
+// semi-joins, so existential duplicates can arise; FOR bindings to inlined
+// optional elements do not filter absent rows.
+StatusOr<opt::RelQuery> TranslateQuery(const xq::Query& query,
+                                       const map::Mapping& mapping);
+
+}  // namespace legodb::xlat
+
+#endif  // LEGODB_TRANSLATE_TRANSLATE_H_

@@ -1,0 +1,71 @@
+#include "xml/dom.h"
+
+namespace legodb::xml {
+
+NodePtr Node::Element(std::string name) {
+  auto node = NodePtr(new Node(Kind::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+NodePtr Node::Text(std::string text) {
+  auto node = NodePtr(new Node(Kind::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+const std::string* Node::FindAttribute(const std::string& name) const {
+  auto it = attributes_.find(name);
+  return it == attributes_.end() ? nullptr : &it->second;
+}
+
+Node* Node::AddChild(NodePtr child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+NodePtr Node::ReleaseChild(size_t index) {
+  NodePtr child = std::move(children_[index]);
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  return child;
+}
+
+Node* Node::AddElement(const std::string& name, std::string text) {
+  Node* child = AddChild(Element(name));
+  if (!text.empty()) child->AddText(std::move(text));
+  return child;
+}
+
+void Node::AddText(std::string text) { AddChild(Text(std::move(text))); }
+
+std::string Node::TextContent() const {
+  if (is_text()) return text_;
+  std::string out;
+  for (const auto& child : children_) out += child->TextContent();
+  return out;
+}
+
+std::vector<const Node*> Node::ChildrenNamed(const std::string& name) const {
+  std::vector<const Node*> result;
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == name) {
+      result.push_back(child.get());
+    }
+  }
+  return result;
+}
+
+const Node* Node::FirstChildNamed(const std::string& name) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+size_t Node::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+}  // namespace legodb::xml

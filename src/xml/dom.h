@@ -1,0 +1,78 @@
+#ifndef LEGODB_XML_DOM_H_
+#define LEGODB_XML_DOM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace legodb::xml {
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+// An element node in an XML document tree. Text content is represented as
+// child nodes with kind kText (mixed content is supported); attributes are a
+// name -> value map on the element.
+class Node {
+ public:
+  enum class Kind { kElement, kText };
+
+  static NodePtr Element(std::string name);
+  static NodePtr Text(std::string text);
+
+  Kind kind() const { return kind_; }
+  bool is_element() const { return kind_ == Kind::kElement; }
+  bool is_text() const { return kind_ == Kind::kText; }
+
+  // Element name (tag); empty for text nodes.
+  const std::string& name() const { return name_; }
+  // Text payload; empty for element nodes.
+  const std::string& text() const { return text_; }
+
+  const std::map<std::string, std::string>& attributes() const {
+    return attributes_;
+  }
+  void SetAttribute(const std::string& name, std::string value) {
+    attributes_[name] = std::move(value);
+  }
+  // Returns nullptr if the attribute is absent.
+  const std::string* FindAttribute(const std::string& name) const;
+
+  const std::vector<NodePtr>& children() const { return children_; }
+  Node* AddChild(NodePtr child);
+  // Detaches and returns the child at `index`.
+  NodePtr ReleaseChild(size_t index);
+  // Convenience: appends <name>text</name> and returns the new element.
+  Node* AddElement(const std::string& name, std::string text = "");
+  void AddText(std::string text);
+
+  // Concatenation of all descendant text (the element's "string value").
+  std::string TextContent() const;
+
+  // Child elements named `name`, in document order.
+  std::vector<const Node*> ChildrenNamed(const std::string& name) const;
+  // First child element named `name`, or nullptr.
+  const Node* FirstChildNamed(const std::string& name) const;
+
+  // Number of nodes in this subtree (elements + text nodes).
+  size_t SubtreeSize() const;
+
+ private:
+  explicit Node(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;
+  std::string text_;
+  std::map<std::string, std::string> attributes_;
+  std::vector<NodePtr> children_;
+};
+
+// An XML document: a single root element.
+struct Document {
+  NodePtr root;
+};
+
+}  // namespace legodb::xml
+
+#endif  // LEGODB_XML_DOM_H_

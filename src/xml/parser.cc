@@ -1,0 +1,290 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/str_util.h"
+
+namespace legodb::xml {
+namespace {
+
+// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  StatusOr<Document> Parse() {
+    SkipProlog();
+    if (Eof() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc();
+    if (!Eof()) return Error("trailing content after root element");
+    Document doc;
+    doc.root = std::move(root).value();
+    return doc;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  bool LookingAt(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("XML line " + std::to_string(line_) + ": " +
+                              msg);
+  }
+
+  // Skips the XML declaration, DOCTYPE, comments and PIs before the root.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        SkipUntil("?>");
+      } else if (LookingAt("<!--")) {
+        SkipUntil("-->");
+      } else if (LookingAt("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<!--")) {
+        SkipUntil("-->");
+      } else if (LookingAt("<?")) {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view token) {
+    size_t found = input_.find(token, pos_);
+    if (found == std::string_view::npos) {
+      pos_ = input_.size();
+      return;
+    }
+    Advance(found - pos_ + token.size());
+  }
+
+  // <!DOCTYPE ...> possibly with a bracketed internal subset.
+  void SkipDoctype() {
+    int bracket_depth = 0;
+    while (!Eof()) {
+      char c = Peek();
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth <= 0) {
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (Eof() || !IsNameStart(Peek())) return Error("expected name");
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // Expands the five predefined entities and decimal/hex character refs.
+  StatusOr<std::string> DecodeText(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return Error("unterminated entity");
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "amp") {
+        out += '&';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (!ent.empty() && ent[0] == '#') {
+        int base = 10;
+        std::string_view digits = ent.substr(1);
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits = digits.substr(1);
+        }
+        char* end = nullptr;
+        std::string d(digits);
+        long code = std::strtol(d.c_str(), &end, base);
+        if (end == d.c_str() || code <= 0 || code > 0x10FFFF) {
+          return Error("bad character reference");
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (code >> 18));
+          out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+      } else {
+        return Error("unknown entity '&" + std::string(ent) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  StatusOr<NodePtr> ParseElement() {
+    if (!LookingAt("<")) return Error("expected '<'");
+    Advance();
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    NodePtr element = Node::Element(std::move(name).value());
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (Eof()) return Error("unterminated start tag");
+      if (Peek() == '/' || Peek() == '>') break;
+      auto attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (Peek() != '=') return Error("expected '=' in attribute");
+      Advance();
+      SkipWhitespace();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') {
+        return Error("expected quoted attribute value");
+      }
+      Advance();
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) Advance();
+      if (Eof()) return Error("unterminated attribute value");
+      auto decoded = DecodeText(input_.substr(start, pos_ - start));
+      if (!decoded.ok()) return decoded.status();
+      Advance();  // closing quote
+      element->SetAttribute(attr_name.value(), std::move(decoded).value());
+    }
+
+    if (Peek() == '/') {
+      Advance();
+      if (Peek() != '>') return Error("expected '/>'");
+      Advance();
+      return element;
+    }
+    Advance();  // '>'
+
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&]() {
+      // Whitespace-only runs between elements are formatting, not data.
+      if (!StrTrim(pending_text).empty()) {
+        element->AddText(std::string(StrTrim(pending_text)));
+      }
+      pending_text.clear();
+    };
+    while (true) {
+      if (Eof()) return Error("unterminated element <" + element->name() + ">");
+      if (LookingAt("</")) {
+        flush_text();
+        Advance(2);
+        auto close_name = ParseName();
+        if (!close_name.ok()) return close_name.status();
+        if (close_name.value() != element->name()) {
+          return Error("mismatched close tag </" + close_name.value() +
+                       "> for <" + element->name() + ">");
+        }
+        SkipWhitespace();
+        if (Peek() != '>') return Error("expected '>'");
+        Advance();
+        return element;
+      }
+      if (LookingAt("<!--")) {
+        SkipUntil("-->");
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        Advance(9);
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        pending_text += std::string(input_.substr(pos_, end - pos_));
+        Advance(end - pos_ + 3);
+        continue;
+      }
+      if (LookingAt("<?")) {
+        SkipUntil("?>");
+        continue;
+      }
+      if (Peek() == '<') {
+        flush_text();
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        element->AddChild(std::move(child).value());
+        continue;
+      }
+      // Character data up to the next markup.
+      size_t start = pos_;
+      while (!Eof() && Peek() != '<') Advance();
+      auto decoded = DecodeText(input_.substr(start, pos_ - start));
+      if (!decoded.ok()) return decoded.status();
+      pending_text += decoded.value();
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+StatusOr<Document> ParseDocument(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+}  // namespace legodb::xml

@@ -1,0 +1,20 @@
+#ifndef LEGODB_XML_PARSER_H_
+#define LEGODB_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace legodb::xml {
+
+// Parses an XML document from `input`. Supports elements, attributes
+// (single- or double-quoted), character data, CDATA sections, comments,
+// processing instructions / XML declarations (skipped), and the five
+// predefined entities. DTDs beyond a skipped <!DOCTYPE ...> declaration are
+// not supported (the paper's system takes schemas separately).
+StatusOr<Document> ParseDocument(std::string_view input);
+
+}  // namespace legodb::xml
+
+#endif  // LEGODB_XML_PARSER_H_

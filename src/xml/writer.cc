@@ -1,0 +1,79 @@
+#include "xml/writer.h"
+
+namespace legodb::xml {
+namespace {
+
+void SerializeNode(const Node& node, bool pretty, int depth,
+                   std::string* out) {
+  std::string indent = pretty ? std::string(2 * depth, ' ') : std::string();
+  if (node.is_text()) {
+    *out += indent + EscapeText(node.text());
+    if (pretty) *out += '\n';
+    return;
+  }
+  *out += indent + "<" + node.name();
+  for (const auto& [name, value] : node.attributes()) {
+    *out += " " + name + "=\"" + EscapeText(value) + "\"";
+  }
+  if (node.children().empty()) {
+    *out += "/>";
+    if (pretty) *out += '\n';
+    return;
+  }
+  // A single text child renders inline: <title>The Fugitive</title>.
+  if (node.children().size() == 1 && node.children()[0]->is_text()) {
+    *out += ">" + EscapeText(node.children()[0]->text()) + "</" + node.name() +
+            ">";
+    if (pretty) *out += '\n';
+    return;
+  }
+  *out += ">";
+  if (pretty) *out += '\n';
+  for (const auto& child : node.children()) {
+    SerializeNode(*child, pretty, depth + 1, out);
+  }
+  *out += indent + "</" + node.name() + ">";
+  if (pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Serialize(const Node& node, bool pretty) {
+  std::string out;
+  SerializeNode(node, pretty, 0, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc, bool pretty) {
+  if (!doc.root) return "";
+  return Serialize(*doc.root, pretty);
+}
+
+}  // namespace legodb::xml

@@ -1,0 +1,169 @@
+#include "xquery/ast.h"
+
+namespace legodb::xq {
+
+std::string PathExpr::ToString() const {
+  std::string out = "$" + var;
+  for (const auto& step : steps) out += "/" + step;
+  return out;
+}
+
+Constant Constant::Symbol(std::string name) {
+  Constant c;
+  c.kind = Kind::kSymbol;
+  c.symbol = std::move(name);
+  return c;
+}
+
+Constant Constant::Int(int64_t v) {
+  Constant c;
+  c.kind = Kind::kInt;
+  c.int_value = v;
+  return c;
+}
+
+Constant Constant::Str(std::string v) {
+  Constant c;
+  c.kind = Kind::kString;
+  c.string_value = std::move(v);
+  return c;
+}
+
+std::string Constant::ToString() const {
+  switch (kind) {
+    case Kind::kSymbol:
+      return symbol;
+    case Kind::kInt:
+      return std::to_string(int_value);
+    case Kind::kString:
+      return "\"" + string_value + "\"";
+  }
+  return "?";
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  if (op == CompareOp::kEq) return lhs == rhs;
+  if (!lhs.Comparable(rhs)) return false;
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  return lhs.ToString() + " " + CompareOpName(op) + " " +
+         (rhs_is_path ? rhs_path.ToString() : rhs_const.ToString());
+}
+
+std::string ForBinding::ToString() const {
+  std::string out = "FOR $" + var + " IN ";
+  out += from_document ? "document(\"*\")" : "$" + source_var;
+  for (const auto& step : steps) out += "/" + step;
+  return out;
+}
+
+namespace {
+void RenderItems(const std::vector<ReturnItem>& items, std::string* out) {
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) *out += ", ";
+    const ReturnItem& item = items[i];
+    switch (item.kind) {
+      case ReturnItem::Kind::kPath:
+        *out += item.path.ToString();
+        break;
+      case ReturnItem::Kind::kSubquery:
+        *out += "(" + item.subquery->ToString() + ")";
+        break;
+      case ReturnItem::Kind::kElement:
+        *out += "<" + item.element_name + "> ";
+        RenderItems(item.children, out);
+        *out += " </" + item.element_name + ">";
+        break;
+    }
+  }
+}
+
+void FlattenItems(const std::vector<ReturnItem>& items,
+                  std::vector<const ReturnItem*>* out) {
+  for (const auto& item : items) {
+    if (item.kind == ReturnItem::Kind::kElement) {
+      FlattenItems(item.children, out);
+    } else {
+      out->push_back(&item);
+    }
+  }
+}
+
+bool ItemsPublish(const std::vector<ReturnItem>& items) {
+  for (const auto& item : items) {
+    switch (item.kind) {
+      case ReturnItem::Kind::kPath:
+        if (item.path.steps.empty()) return true;
+        break;
+      case ReturnItem::Kind::kSubquery:
+        if (item.subquery->IsPublish()) return true;
+        break;
+      case ReturnItem::Kind::kElement:
+        if (ItemsPublish(item.children)) return true;
+        break;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+std::string Query::ToString() const {
+  std::string out;
+  for (const auto& f : fors) out += f.ToString() + " ";
+  if (!where.empty()) {
+    out += "WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += where[i].ToString();
+    }
+    out += " ";
+  }
+  out += "RETURN ";
+  RenderItems(ret, &out);
+  return out;
+}
+
+std::vector<const ReturnItem*> Query::FlatReturnItems() const {
+  std::vector<const ReturnItem*> out;
+  FlattenItems(ret, &out);
+  return out;
+}
+
+bool Query::IsPublish() const { return ItemsPublish(ret); }
+
+}  // namespace legodb::xq

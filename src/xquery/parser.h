@@ -1,0 +1,28 @@
+#ifndef LEGODB_XQUERY_PARSER_H_
+#define LEGODB_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace legodb::xq {
+
+// Parses the XQuery subset used throughout the paper (Appendix C):
+//
+//   FOR $v IN document("imdbdata")/imdb/show
+//   WHERE $v/title = c1
+//   RETURN $v/title, $v/year,
+//     FOR $e IN $v/episode
+//     WHERE $e/guest_director = c2
+//     RETURN $e/name
+//
+// Keywords are case-insensitive; commas between return items are optional
+// (the paper omits them in places); `<name> ... </name>` element
+// constructors group return items; identifiers in comparison right-hand
+// sides (c1, c2, ...) parse as symbolic constants.
+StatusOr<Query> ParseQuery(std::string_view input);
+
+}  // namespace legodb::xq
+
+#endif  // LEGODB_XQUERY_PARSER_H_

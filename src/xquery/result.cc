@@ -1,0 +1,41 @@
+#include "xquery/result.h"
+
+#include <algorithm>
+
+namespace legodb::xq {
+
+namespace {
+bool RowLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+}  // namespace
+
+void ResultSet::SortRows() { std::sort(rows.begin(), rows.end(), RowLess); }
+
+bool ResultSet::SameRows(const ResultSet& other) const {
+  if (rows.size() != other.rows.size()) return false;
+  std::vector<std::vector<Value>> a = rows;
+  std::vector<std::vector<Value>> b = other.rows;
+  std::sort(a.begin(), a.end(), RowLess);
+  std::sort(b.begin(), b.end(), RowLess);
+  return a == b;
+}
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += labels[i];
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace legodb::xq

@@ -1,0 +1,28 @@
+#ifndef LEGODB_XQUERY_RESULT_H_
+#define LEGODB_XQUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace legodb::xq {
+
+// A flat tabular query result, shared between the DOM evaluator and the
+// relational execution engine so answers can be compared directly.
+struct ResultSet {
+  std::vector<std::string> labels;
+  std::vector<std::vector<Value>> rows;
+
+  // Sorts rows lexicographically (for order-insensitive comparison).
+  void SortRows();
+
+  // Order-insensitive multiset equality of rows (labels not compared).
+  bool SameRows(const ResultSet& other) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace legodb::xq
+
+#endif  // LEGODB_XQUERY_RESULT_H_

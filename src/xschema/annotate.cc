@@ -1,0 +1,270 @@
+#include "xschema/annotate.h"
+
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <set>
+
+namespace legodb::xs {
+namespace {
+
+// The path step an element occupies in the statistics: its literal tag, or
+// the Appendix-A pseudo-step "TILDE" for wildcard names.
+std::string PathStep(const NameClass& name) {
+  return name.kind == NameClass::Kind::kLiteral ? name.name : "TILDE";
+}
+
+class Annotator {
+ public:
+  Annotator(const Schema& in, const StatsSet& stats) : in_(in), stats_(stats) {
+    out_ = in;
+  }
+
+  Schema Run() {
+    // The document root exists exactly once.
+    double root_instances = 1;
+    AnnotateNamed(in_.root_type(), {}, root_instances);
+    return std::move(out_);
+  }
+
+ private:
+  void AnnotateNamed(const std::string& name, const StatPath& path,
+                     double instances) {
+    if (!in_.Has(name) || !done_.insert(name).second) return;
+    out_.Define(name, Walk(in_.Get(name), path, instances));
+  }
+
+  // Statistics path of the first element reachable in `t` at `path`.
+  std::optional<StatPath> FirstElementPath(const TypePtr& t,
+                                           const StatPath& path, int depth) {
+    if (!t || depth > 32) return std::nullopt;
+    switch (t->kind) {
+      case Type::Kind::kElement: {
+        StatPath p = path;
+        p.push_back(PathStep(t->name));
+        return p;
+      }
+      case Type::Kind::kTypeRef: {
+        TypePtr body = in_.Find(t->ref_name);
+        return body ? FirstElementPath(body, path, depth + 1) : std::nullopt;
+      }
+      case Type::Kind::kSequence:
+        return t->children.empty()
+                   ? std::nullopt
+                   : FirstElementPath(t->children[0], path, depth + 1);
+      case Type::Kind::kRepetition:
+        return FirstElementPath(t->child, path, depth + 1);
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // Absolute occurrence count of the first element reachable in `t` at
+  // `path` (used to compute repetition averages).
+  std::optional<double> TotalCountOf(const TypePtr& t, const StatPath& path,
+                                     int depth = 0) {
+    if (!t || depth > 32) return std::nullopt;
+    switch (t->kind) {
+      case Type::Kind::kElement: {
+        StatPath p = path;
+        p.push_back(PathStep(t->name));
+        auto n = stats_.Count(p);
+        if (n) return static_cast<double>(*n);
+        return std::nullopt;
+      }
+      case Type::Kind::kTypeRef: {
+        TypePtr body = in_.Find(t->ref_name);
+        return body ? TotalCountOf(body, path, depth + 1) : std::nullopt;
+      }
+      case Type::Kind::kUnion: {
+        // Sum the alternatives, but count each first-element path once:
+        // distributed partitions (Show_Part1 | Show_Part2) both start with
+        // <show> and describe disjoint subsets of the same elements.
+        double total = 0;
+        bool any = false;
+        std::set<StatPath> seen;
+        for (const auto& alt : t->children) {
+          std::optional<StatPath> p = FirstElementPath(alt, path, depth + 1);
+          if (!p || !seen.insert(*p).second) continue;
+          if (auto n = stats_.Count(*p)) {
+            total += static_cast<double>(*n);
+            any = true;
+          }
+        }
+        return any ? std::optional<double>(total) : std::nullopt;
+      }
+      case Type::Kind::kSequence:
+        return t->children.empty()
+                   ? std::nullopt
+                   : TotalCountOf(t->children[0], path, depth + 1);
+      case Type::Kind::kRepetition:
+        return TotalCountOf(t->child, path, depth + 1);
+      default:
+        return std::nullopt;
+    }
+  }
+
+  TypePtr Walk(const TypePtr& t, const StatPath& path, double instances) {
+    switch (t->kind) {
+      case Type::Kind::kEmpty:
+        return t;
+      case Type::Kind::kScalar:
+        return AnnotateScalar(t, path, instances);
+      case Type::Kind::kElement: {
+        StatPath p = path;
+        p.push_back(PathStep(t->name));
+        double n = static_cast<double>(
+            stats_.Count(p).value_or(static_cast<int64_t>(instances)));
+        return Type::Element(t->name, Walk(t->child, p, n));
+      }
+      case Type::Kind::kAttribute: {
+        StatPath p = path;
+        p.push_back(t->name.name);
+        return Type::Attribute(t->name.name, Walk(t->child, p, instances));
+      }
+      case Type::Kind::kSequence: {
+        std::vector<TypePtr> items;
+        items.reserve(t->children.size());
+        for (const auto& c : t->children) items.push_back(Walk(c, path, instances));
+        return Type::Sequence(std::move(items));
+      }
+      case Type::Kind::kUnion: {
+        // Walk each alternative with branch-local instance counts so
+        // statistics nested inside a branch are not double-discounted.
+        std::vector<double> weights = UnionWeights(t, path);
+        std::vector<TypePtr> alts;
+        alts.reserve(t->children.size());
+        for (size_t i = 0; i < t->children.size(); ++i) {
+          alts.push_back(
+              Walk(t->children[i], path, instances * weights[i]));
+        }
+        AttachUnionWeights(t, path, &alts);
+        return Type::Union(std::move(alts));
+      }
+      case Type::Kind::kRepetition: {
+        std::optional<double> total = TotalCountOf(t->child, path);
+        double avg = 0;
+        if (total && instances > 0) avg = *total / instances;
+        double child_instances =
+            total.value_or(instances * t->ExpectedCount());
+        TypePtr child = Walk(t->child, path, child_instances);
+        auto rep = Type::Repetition(std::move(child), t->min_occurs,
+                                    t->max_occurs, avg);
+        return rep;
+      }
+      case Type::Kind::kTypeRef:
+        AnnotateNamed(t->ref_name, path, instances);
+        return t;
+    }
+    return t;
+  }
+
+  // Estimates relative weights of union alternatives from statistics. Each
+  // alternative's size is the count of its first element; when those are
+  // indistinguishable (e.g. all branches start with the same tag, as in a
+  // distributed Show), the minimum count among singleton child elements
+  // inside the branch discriminates (e.g. box_office vs seasons).
+  // Normalized branch weights for a union (even split when statistics
+  // cannot discriminate the branches).
+  std::vector<double> UnionWeights(const TypePtr& u, const StatPath& path) {
+    size_t n = u->children.size();
+    std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+    std::vector<double> estimates;
+    for (const auto& alt : u->children) {
+      std::optional<double> est = BranchEstimate(alt, path);
+      if (!est || *est <= 0) return weights;
+      estimates.push_back(*est);
+    }
+    double sum = 0;
+    for (double e : estimates) sum += e;
+    if (sum <= 0) return weights;
+    for (size_t i = 0; i < n; ++i) weights[i] = estimates[i] / sum;
+    return weights;
+  }
+
+  std::optional<double> BranchEstimate(const TypePtr& alt,
+                                       const StatPath& path) {
+    std::optional<double> inner;
+    if (alt->kind == Type::Kind::kTypeRef) {
+      inner = InnerSingletonCount(alt, path);
+    }
+    return inner ? inner : TotalCountOf(alt, path);
+  }
+
+  void AttachUnionWeights(const TypePtr& u, const StatPath& path,
+                          std::vector<TypePtr>* alts) {
+    for (const auto& alt : u->children) {
+      if (alt->kind != Type::Kind::kTypeRef) return;
+    }
+    std::vector<double> weights = UnionWeights(u, path);
+    for (size_t i = 0; i < alts->size(); ++i) {
+      (*alts)[i] =
+          Type::RefWeighted(u->children[i]->ref_name, weights[i]);
+    }
+  }
+
+  // Minimum occurrence count among the singleton ({1,1}) literal child
+  // elements directly inside a referenced type's root element.
+  std::optional<double> InnerSingletonCount(const TypePtr& ref,
+                                            const StatPath& path) {
+    TypePtr body = in_.Find(ref->ref_name);
+    if (!body || body->kind != Type::Kind::kElement ||
+        body->name.kind != NameClass::Kind::kLiteral) {
+      return std::nullopt;
+    }
+    StatPath subpath = path;
+    subpath.push_back(body->name.name);
+    std::optional<double> best;
+    std::function<void(const TypePtr&)> scan = [&](const TypePtr& t) {
+      if (t->kind == Type::Kind::kSequence) {
+        for (const auto& c : t->children) scan(c);
+        return;
+      }
+      if (t->kind == Type::Kind::kElement) {
+        StatPath p = subpath;
+        p.push_back(PathStep(t->name));
+        if (auto n = stats_.Count(p)) {
+          double v = static_cast<double>(*n);
+          if (!best || v < *best) best = v;
+        }
+      }
+    };
+    scan(body->child);
+    return best;
+  }
+
+  TypePtr AnnotateScalar(const TypePtr& t, const StatPath& path,
+                         double instances) {
+    const PathStat* ps = stats_.Find(path);
+    ScalarStats s = t->scalar_stats;
+    if (ps) {
+      if (ps->size) s.size = *ps->size;
+      if (ps->base) {
+        s.min = ps->base->min;
+        s.max = ps->base->max;
+        s.distincts = ps->base->distincts;
+      } else if (ps->distincts) {
+        s.distincts = *ps->distincts;
+      }
+    }
+    if (s.distincts == 0) {
+      // No distinct-count statistic: assume all occurrences distinct.
+      s.distincts = std::max<int64_t>(1, static_cast<int64_t>(instances));
+    }
+    if (t->scalar_kind == ScalarKind::kInteger) s.size = 4;
+    return Type::Scalar(t->scalar_kind, s);
+  }
+
+  const Schema& in_;
+  const StatsSet& stats_;
+  Schema out_;
+  std::set<std::string> done_;
+};
+
+}  // namespace
+
+Schema AnnotateSchema(const Schema& schema, const StatsSet& stats) {
+  return Annotator(schema, stats).Run();
+}
+
+}  // namespace legodb::xs

@@ -1,0 +1,25 @@
+#ifndef LEGODB_XSCHEMA_ANNOTATE_H_
+#define LEGODB_XSCHEMA_ANNOTATE_H_
+
+#include "xschema/schema.h"
+#include "xschema/stats.h"
+
+namespace legodb::xs {
+
+// Produces a copy of `schema` with statistics woven into the type
+// expressions (the p-schema annotation step of Section 3.1):
+//  - scalar occurrences receive size / min / max / distinct statistics from
+//    the path they sit at;
+//  - repetitions receive the *<#count> average-occurrences annotation,
+//    computed as STcnt(child path) / STcnt(parent path).
+//
+// Scalars whose path has no statistics keep defaults. String scalars with no
+// distinct count are assumed all-distinct (one distinct value per occurrence,
+// matching the paper's Show sample where title gets #34798 distincts). A type
+// referenced from several paths is annotated at its first (document-order)
+// occurrence.
+Schema AnnotateSchema(const Schema& schema, const StatsSet& stats);
+
+}  // namespace legodb::xs
+
+#endif  // LEGODB_XSCHEMA_ANNOTATE_H_

@@ -1,0 +1,39 @@
+#ifndef LEGODB_XSCHEMA_SCHEMA_PARSER_H_
+#define LEGODB_XSCHEMA_SCHEMA_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xschema/schema.h"
+
+namespace legodb::xs {
+
+// Parses a schema written in the paper's XML Query Algebra type notation:
+//
+//   type Show =
+//     show [ @type[ String ],
+//            title[ String<#50,#34798> ],
+//            year[ Integer<#4,#1800,#2100,#300> ],
+//            Aka{1,10},
+//            Review*<#10>,
+//            ( Movie | TV ) ]
+//   type Aka = aka [ String ]
+//   ...
+//
+// Supported constructs: scalars with optional statistics
+// (String<#size[,#distincts]>, Integer<#size[,#min,#max[,#distincts]]>),
+// elements `name[ t ]`, wildcard elements `~[ t ]` / `~!a[ t ]` (the token
+// TILDE is an alias for `~`), attributes `@name[ t ]`, sequences `t , t`,
+// unions `t | t` (lower precedence than `,`), repetitions `t?`, `t*`, `t+`,
+// `t{m,n}` with optional `<#count>` occurrence statistics, type references,
+// and `()` for empty content. `//` starts a line comment.
+//
+// The first declared type is the schema root.
+StatusOr<Schema> ParseSchema(std::string_view input);
+
+// Parses a single type expression (no `type NAME =` header).
+StatusOr<TypePtr> ParseType(std::string_view input);
+
+}  // namespace legodb::xs
+
+#endif  // LEGODB_XSCHEMA_SCHEMA_PARSER_H_

@@ -1,0 +1,205 @@
+#include "xschema/stats.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace legodb::xs {
+
+void StatsSet::SetCount(const StatPath& path, int64_t count) {
+  stats_[path].count = count;
+}
+
+void StatsSet::SetSize(const StatPath& path, double size) {
+  stats_[path].size = size;
+}
+
+void StatsSet::SetBase(const StatPath& path, int64_t min, int64_t max,
+                       int64_t distincts) {
+  stats_[path].base = PathStat::Base{min, max, distincts};
+}
+
+void StatsSet::SetDistincts(const StatPath& path, int64_t distincts) {
+  stats_[path].distincts = distincts;
+}
+
+const PathStat* StatsSet::Find(const StatPath& path) const {
+  auto it = stats_.find(path);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::optional<int64_t> StatsSet::Count(const StatPath& path) const {
+  const PathStat* s = Find(path);
+  return s ? s->count : std::nullopt;
+}
+
+std::optional<double> StatsSet::Size(const StatPath& path) const {
+  const PathStat* s = Find(path);
+  return s ? s->size : std::nullopt;
+}
+
+std::string StatsSet::ToString() const {
+  std::string out;
+  auto render_path = [](const StatPath& path) {
+    std::string p = "[";
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) p += ";";
+      p += "\"" + path[i] + "\"";
+    }
+    return p + "]";
+  };
+  for (const auto& [path, stat] : stats_) {
+    if (stat.count) {
+      out += "(" + render_path(path) + ", STcnt(" +
+             std::to_string(*stat.count) + "));\n";
+    }
+    if (stat.size) {
+      out += "(" + render_path(path) + ", STsize(" +
+             std::to_string(static_cast<int64_t>(*stat.size)) + "));\n";
+    }
+    if (stat.base) {
+      out += "(" + render_path(path) + ", STbase(" +
+             std::to_string(stat.base->min) + "," +
+             std::to_string(stat.base->max) + "," +
+             std::to_string(stat.base->distincts) + "));\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Cursor-based parser for the Appendix-A OCaml-like notation.
+class StatsParser {
+ public:
+  explicit StatsParser(std::string_view input) : input_(input) {}
+
+  StatusOr<StatsSet> Parse() {
+    StatsSet stats;
+    SkipSpace();
+    while (pos_ < input_.size()) {
+      LEGODB_RETURN_IF_ERROR(ParseEntry(&stats));
+      SkipSpace();
+    }
+    return stats;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("stats line " + std::to_string(line_) + ": " +
+                              msg);
+  }
+
+  StatusOr<std::string> ParseQuoted() {
+    SkipSpace();
+    if (pos_ >= input_.size() || input_[pos_] != '"') {
+      return Error("expected quoted string");
+    }
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '"') ++pos_;
+    if (pos_ >= input_.size()) return Error("unterminated string");
+    std::string s(input_.substr(start, pos_ - start));
+    ++pos_;
+    return s;
+  }
+
+  StatusOr<int64_t> ParseInt() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < input_.size() && (input_[pos_] == '-' || input_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected integer");
+    return std::strtoll(std::string(input_.substr(start, pos_ - start)).c_str(),
+                        nullptr, 10);
+  }
+
+  StatusOr<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // (["a";"b"], STcnt(42));
+  Status ParseEntry(StatsSet* stats) {
+    if (!Consume('(')) return Error("expected '('");
+    if (!Consume('[')) return Error("expected '['");
+    StatPath path;
+    if (!Consume(']')) {
+      while (true) {
+        LEGODB_ASSIGN_OR_RETURN(std::string step, ParseQuoted());
+        path.push_back(std::move(step));
+        if (Consume(']')) break;
+        if (!Consume(';')) return Error("expected ';' or ']' in path");
+      }
+    }
+    if (!Consume(',')) return Error("expected ',' after path");
+    LEGODB_ASSIGN_OR_RETURN(std::string tag, ParseIdent());
+    if (!Consume('(')) return Error("expected '(' after " + tag);
+    if (tag == "STcnt") {
+      LEGODB_ASSIGN_OR_RETURN(int64_t n, ParseInt());
+      stats->SetCount(path, n);
+    } else if (tag == "STsize") {
+      LEGODB_ASSIGN_OR_RETURN(int64_t n, ParseInt());
+      stats->SetSize(path, static_cast<double>(n));
+    } else if (tag == "STbase") {
+      LEGODB_ASSIGN_OR_RETURN(int64_t min, ParseInt());
+      if (!Consume(',')) return Error("expected ',' in STbase");
+      LEGODB_ASSIGN_OR_RETURN(int64_t max, ParseInt());
+      if (!Consume(',')) return Error("expected ',' in STbase");
+      LEGODB_ASSIGN_OR_RETURN(int64_t distincts, ParseInt());
+      stats->SetBase(path, min, max, distincts);
+    } else {
+      return Error("unknown statistic '" + tag + "'");
+    }
+    if (!Consume(')')) return Error("expected ')' closing statistic");
+    if (!Consume(')')) return Error("expected ')' closing entry");
+    Consume(';');  // trailing ';' is optional
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+StatusOr<StatsSet> ParseStats(std::string_view input) {
+  return StatsParser(input).Parse();
+}
+
+}  // namespace legodb::xs

@@ -1,0 +1,73 @@
+#ifndef LEGODB_XSCHEMA_STATS_H_
+#define LEGODB_XSCHEMA_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace legodb::xs {
+
+// A path through the document from the root, e.g. {"imdb","show","title"}.
+// Attribute names appear as plain steps; wildcard positions use "TILDE",
+// both per the paper's Appendix A.
+using StatPath = std::vector<std::string>;
+
+// Statistics for one path, combining the paper's three annotations:
+//   STcnt(n)            total number of occurrences of the path
+//   STsize(s)           average content size in bytes
+//   STbase(min,max,d)   integer value range and distinct count
+struct PathStat {
+  std::optional<int64_t> count;
+  std::optional<double> size;
+  struct Base {
+    int64_t min = 0;
+    int64_t max = 0;
+    int64_t distincts = 0;
+    bool operator==(const Base&) const = default;
+  };
+  std::optional<Base> base;
+  // Distinct string values observed (collector only; Appendix A has no
+  // string-distinct annotation).
+  std::optional<int64_t> distincts;
+};
+
+// XML data statistics keyed by path — the `xStats` input of Algorithm 4.1.
+class StatsSet {
+ public:
+  StatsSet() = default;
+
+  void SetCount(const StatPath& path, int64_t count);
+  void SetSize(const StatPath& path, double size);
+  void SetBase(const StatPath& path, int64_t min, int64_t max,
+               int64_t distincts);
+  void SetDistincts(const StatPath& path, int64_t distincts);
+
+  // Returns nullptr if the path has no recorded statistics.
+  const PathStat* Find(const StatPath& path) const;
+
+  std::optional<int64_t> Count(const StatPath& path) const;
+  std::optional<double> Size(const StatPath& path) const;
+
+  size_t size() const { return stats_.size(); }
+  const std::map<StatPath, PathStat>& entries() const { return stats_; }
+
+  // Renders in the Appendix-A notation:
+  //   (["imdb";"show"], STcnt(34798));
+  std::string ToString() const;
+
+ private:
+  std::map<StatPath, PathStat> stats_;
+};
+
+// Parses the Appendix-A statistics notation. Multiple entries for the same
+// path merge (e.g. an STcnt line and an STsize line).
+StatusOr<StatsSet> ParseStats(std::string_view input);
+
+}  // namespace legodb::xs
+
+#endif  // LEGODB_XSCHEMA_STATS_H_

@@ -1,0 +1,27 @@
+#ifndef LEGODB_XSCHEMA_VALIDATOR_H_
+#define LEGODB_XSCHEMA_VALIDATOR_H_
+
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xschema/schema.h"
+
+namespace legodb::xs {
+
+// Checks that `doc` is valid under `schema` (its root matches the schema's
+// root type). Validation implements the tree-regular-expression semantics of
+// the XML Query Algebra types: sequences, unions and repetitions match the
+// element's child list (with backtracking), attributes must be declared and
+// present exactly as typed, Integer content must parse as an integer, and
+// wildcard names match per '~' / '~!a'.
+//
+// Used to demonstrate that schema transformations preserve the set of valid
+// documents — the paper's core equivalence claim.
+Status ValidateDocument(const xml::Document& doc, const Schema& schema);
+
+// Validates a single element against a named type of the schema.
+Status ValidateElement(const xml::Node& element, const Schema& schema,
+                       const std::string& type_name);
+
+}  // namespace legodb::xs
+
+#endif  // LEGODB_XSCHEMA_VALIDATOR_H_

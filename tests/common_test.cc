@@ -1,0 +1,221 @@
+// Unit tests for the common module: Status/StatusOr, Value, string
+// utilities, RNG determinism, table printing.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "common/value.h"
+
+namespace legodb {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kParseError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, AllCodesRender) {
+  EXPECT_EQ(Status::InvalidArgument("x").ToString(), "InvalidArgument: x");
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::Unsupported("x").ToString(), "Unsupported: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = ParsePositive(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = ParsePositive(-1);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kInvalidArgument);
+}
+
+StatusOr<int> Doubled(int x) {
+  LEGODB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOr, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(Value, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v.ByteSize(), 1u);
+}
+
+TEST(Value, IntRoundTrip) {
+  Value v = Value::Int(-42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -42);
+  EXPECT_EQ(v.ToString(), "-42");
+  EXPECT_EQ(v.ByteSize(), 8u);
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v = Value::Str("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello");
+  EXPECT_EQ(v.ByteSize(), 5u);
+}
+
+TEST(Value, EqualityIsTyped) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Str("1"));
+  EXPECT_NE(Value::Int(1), Value::MakeNull());
+  EXPECT_EQ(Value::MakeNull(), Value::MakeNull());
+}
+
+TEST(Value, TotalOrderNullIntString) {
+  EXPECT_LT(Value::MakeNull(), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::Str("a"));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_FALSE(Value::Str("a") < Value::Str("a"));
+}
+
+TEST(Value, HashDistinguishesKinds) {
+  ValueHash h;
+  EXPECT_EQ(h(Value::Int(3)), h(Value::Int(3)));
+  EXPECT_EQ(h(Value::Str("x")), h(Value::Str("x")));
+}
+
+TEST(StrUtil, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrUtil, JoinInvertsSplit) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(pieces, "/"), "x/y/z");
+  EXPECT_EQ(StrSplit("x/y/z", '/'), pieces);
+}
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(StrTrim("  hi \n\t"), "hi");
+  EXPECT_EQ(StrTrim("hi"), "hi");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StrUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("parent_Show", "parent_"));
+  EXPECT_FALSE(StartsWith("pa", "parent_"));
+  EXPECT_TRUE(EndsWith("Show_id", "_id"));
+  EXPECT_FALSE(EndsWith("id", "_id"));
+}
+
+TEST(StrUtil, IsInteger) {
+  EXPECT_TRUE(IsInteger("123"));
+  EXPECT_TRUE(IsInteger("-5"));
+  EXPECT_TRUE(IsInteger("+7"));
+  EXPECT_FALSE(IsInteger(""));
+  EXPECT_FALSE(IsInteger("-"));
+  EXPECT_FALSE(IsInteger("12a"));
+  EXPECT_FALSE(IsInteger("1 2"));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, RandomStringIsLowercase) {
+  Rng rng(11);
+  std::string s = rng.RandomString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"xxxx", "1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| a    | long_header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxx | 1           |"), std::string::npos);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatsDoubleRows) {
+  TablePrinter t({"label", "x", "y"});
+  t.AddRow("row", {1.2345, 2.0});
+  EXPECT_NE(t.ToString().find("1.23"), std::string::npos);
+  EXPECT_NE(t.ToString().find("2.00"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace legodb

@@ -1,0 +1,147 @@
+// Cost-model validation: the paper checked its optimizer estimates against
+// Microsoft SQL Server 6.5 and found ~10% agreement on most queries. We
+// check the analogous property against our own execution engine: across
+// queries and configurations, estimated cost must rank-order and roughly
+// track the measured work (same weighted resources: seeks, bytes read,
+// bytes written, tuples).
+//
+// Estimates use catalog statistics for a *large* hypothetical database, so
+// we measure on a shredded database and compare SHAPES on the same dataset:
+// the catalog statistics here are collected from the very documents we
+// execute against, making estimate and measurement commensurable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/executor.h"
+#include "imdb/imdb.h"
+#include "mapping/mapping.h"
+#include "optimizer/optimizer.h"
+#include "pschema/pschema.h"
+#include "storage/shredder.h"
+#include "translate/translate.h"
+#include "xquery/parser.h"
+#include "xschema/annotate.h"
+#include "xschema/stats_collector.h"
+
+namespace legodb {
+namespace {
+
+struct Measurement {
+  std::string query;
+  double estimated = 0;
+  double measured = 0;
+};
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    imdb::ImdbScale scale;
+    scale.shows = 300;
+    scale.directors = 60;
+    scale.actors = 100;
+    doc_ = imdb::Generate(scale);
+    // Statistics collected from the actual data -> catalog matches reality.
+    xs::StatsCollector collector;
+    collector.AddDocument(doc_);
+    stats_ = collector.Finish();
+  }
+
+  // Runs one query on one configuration; returns (estimate, measured cost
+  // with the same resource weights).
+  Measurement Run(const xs::Schema& config, const std::string& qname) {
+    auto mapping = map::MapSchema(config);
+    EXPECT_TRUE(mapping.ok()) << mapping.status().ToString();
+    store::Database db(mapping->catalog());
+    EXPECT_TRUE(store::ShredDocument(doc_, mapping.value(), &db).ok());
+
+    auto query = xq::ParseQuery(imdb::QueryText(qname));
+    EXPECT_TRUE(query.ok());
+    auto rq = xlat::TranslateQuery(query.value(), mapping.value());
+    EXPECT_TRUE(rq.ok()) << rq.status().ToString();
+    opt::CostParams params;
+    opt::Optimizer optimizer(mapping->catalog(), params);
+    auto planned = optimizer.PlanQuery(rq.value());
+    EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+
+    std::vector<opt::PhysicalPlanPtr> plans;
+    for (const auto& b : planned->blocks) plans.push_back(b.plan);
+    std::map<std::string, Value> bindings = {
+        {"c1", Value::Str("title1")},
+        {"c2", Value::Str("title2")},
+        {"c4", Value::Str("person3")},
+    };
+    engine::Executor exec(&db, bindings);
+    auto result = exec.ExecuteQuery(rq.value(), plans);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+
+    Measurement m;
+    m.query = qname;
+    m.estimated = planned->total_cost;
+    m.measured = exec.stats().WeightedCost(
+        params.seek_cost, params.read_per_byte, params.write_per_byte,
+        params.cpu_per_tuple);
+    return m;
+  }
+
+  xs::Schema Config() {
+    auto schema = imdb::Schema();
+    EXPECT_TRUE(schema.ok());
+    return ps::Normalize(xs::AnnotateSchema(schema.value(), stats_));
+  }
+
+  xml::Document doc_;
+  xs::StatsSet stats_;
+};
+
+TEST_F(CostModelTest, EstimatesTrackMeasurementsWithinFactor) {
+  xs::Schema config = Config();
+  // Scan- and join-dominated queries where estimates are meaningful.
+  for (const char* q : {"Q2", "Q3", "Q7", "Q8", "Q16"}) {
+    Measurement m = Run(config, q);
+    ASSERT_GT(m.measured, 0) << q;
+    double ratio = m.estimated / m.measured;
+    // The paper reports ~10%; with a synthetic engine we accept a factor
+    // of 4 — the point is the estimates are calibrated, not exact.
+    EXPECT_GT(ratio, 0.25) << q << " est=" << m.estimated
+                           << " meas=" << m.measured;
+    EXPECT_LT(ratio, 4.0) << q << " est=" << m.estimated
+                          << " meas=" << m.measured;
+  }
+}
+
+TEST_F(CostModelTest, EstimatesRankOrderQueries) {
+  xs::Schema config = Config();
+  std::vector<Measurement> ms;
+  for (const char* q : {"Q2", "Q16", "Q7"}) ms.push_back(Run(config, q));
+  // Kendall-style agreement: every pair ordered the same way by estimate
+  // and by measurement.
+  for (size_t i = 0; i < ms.size(); ++i) {
+    for (size_t j = i + 1; j < ms.size(); ++j) {
+      bool est_less = ms[i].estimated < ms[j].estimated;
+      bool meas_less = ms[i].measured < ms[j].measured;
+      EXPECT_EQ(est_less, meas_less)
+          << ms[i].query << " vs " << ms[j].query;
+    }
+  }
+}
+
+TEST_F(CostModelTest, ConfigurationRankingAgreesForPublish) {
+  // The cheaper configuration by estimate must be cheaper by measurement
+  // for the publish query (Q16) across outlined vs inlined configurations.
+  auto schema = imdb::Schema();
+  ASSERT_TRUE(schema.ok());
+  xs::Schema annotated = xs::AnnotateSchema(schema.value(), stats_);
+  Measurement inlined = Run(ps::AllInlined(annotated), "Q16");
+  Measurement outlined = Run(ps::AllOutlined(annotated), "Q16");
+  bool est_prefers_inlined = inlined.estimated < outlined.estimated;
+  bool meas_prefers_inlined = inlined.measured < outlined.measured;
+  EXPECT_EQ(est_prefers_inlined, meas_prefers_inlined)
+      << "inlined est/meas=" << inlined.estimated << "/" << inlined.measured
+      << " outlined est/meas=" << outlined.estimated << "/"
+      << outlined.measured;
+}
+
+}  // namespace
+}  // namespace legodb

@@ -1,0 +1,235 @@
+// Unit tests for the execution engine: operator semantics (scans, index
+// lookups, hash and index-nested-loop joins, outer joins, NOT NULL and
+// equality filters), parameter binding, and work counters.
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "mapping/mapping.h"
+#include "optimizer/optimizer.h"
+#include "pschema/pschema.h"
+#include "storage/database.h"
+#include "storage/shredder.h"
+#include "xml/parser.h"
+#include "xschema/schema_parser.h"
+
+namespace legodb::engine {
+namespace {
+
+using opt::PhysicalPlan;
+
+// Fixture: Parent(2 rows) / Child(3 rows) shredded from a tiny document.
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = xs::ParseSchema(
+        "type P = p[ C* ] "
+        "type C = c[ name[ String ], size[ Integer ]? ]");
+    ASSERT_TRUE(schema.ok());
+    auto mapping = map::MapSchema(ps::Normalize(schema.value()));
+    ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+    mapping_ = std::make_unique<map::Mapping>(std::move(mapping).value());
+    db_ = std::make_unique<store::Database>(mapping_->catalog());
+    auto doc = xml::ParseDocument(
+        "<p>"
+        "<c><name>alpha</name><size>10</size></c>"
+        "<c><name>beta</name></c>"
+        "<c><name>alpha</name><size>30</size></c>"
+        "</p>");
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(store::ShredDocument(doc.value(), *mapping_, db_.get()).ok());
+  }
+
+  // A one-table scan block over C outputting `name`.
+  opt::QueryBlock ChildBlock() {
+    opt::QueryBlock b;
+    b.rels.push_back(opt::BaseRel{"C", "c"});
+    b.output.push_back(opt::ColumnRef{0, "name", "name"});
+    return b;
+  }
+
+  xq::ResultSet Execute(const opt::QueryBlock& block,
+                        std::map<std::string, Value> params = {}) {
+    opt::Optimizer optimizer(mapping_->catalog());
+    auto planned = optimizer.PlanBlock(block);
+    EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+    Executor exec(db_.get(), std::move(params));
+    auto result = exec.ExecuteBlock(block, planned->plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    last_stats_ = exec.stats();
+    return std::move(result).value();
+  }
+
+  std::unique_ptr<map::Mapping> mapping_;
+  std::unique_ptr<store::Database> db_;
+  ExecStats last_stats_;
+};
+
+TEST_F(EngineTest, SeqScanReturnsAllRows) {
+  xq::ResultSet r = Execute(ChildBlock());
+  EXPECT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.labels, (std::vector<std::string>{"name"}));
+  EXPECT_GT(last_stats_.tuples_processed, 2);
+  EXPECT_GT(last_stats_.bytes_read, 0);
+}
+
+TEST_F(EngineTest, EqualityFilter) {
+  opt::QueryBlock b = ChildBlock();
+  b.filters.push_back(opt::FilterPred{0, "name", xq::CompareOp::kEq, xq::Constant::Str("alpha")});
+  xq::ResultSet r = Execute(b);
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, SymbolicParameterBinds) {
+  opt::QueryBlock b = ChildBlock();
+  b.filters.push_back(
+      opt::FilterPred{0, "name", xq::CompareOp::kEq, xq::Constant::Symbol("c1")});
+  xq::ResultSet r = Execute(b, {{"c1", Value::Str("beta")}});
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(EngineTest, UnboundParameterErrors) {
+  opt::QueryBlock b = ChildBlock();
+  b.filters.push_back(opt::FilterPred{0, "name", xq::CompareOp::kEq, xq::Constant::Symbol("c9")});
+  opt::Optimizer optimizer(mapping_->catalog());
+  auto planned = optimizer.PlanBlock(b);
+  ASSERT_TRUE(planned.ok());
+  Executor exec(db_.get());
+  EXPECT_FALSE(exec.ExecuteBlock(b, planned->plan).ok());
+}
+
+TEST_F(EngineTest, NotNullFilter) {
+  opt::QueryBlock b = ChildBlock();
+  opt::FilterPred f;
+  f.rel = 0;
+  f.column = "size";
+  f.not_null = true;
+  b.filters.push_back(f);
+  xq::ResultSet r = Execute(b);
+  EXPECT_EQ(r.rows.size(), 2u);  // beta's size is NULL
+}
+
+TEST_F(EngineTest, IntegerFilterComparesNumerically) {
+  opt::QueryBlock b = ChildBlock();
+  b.filters.push_back(opt::FilterPred{0, "size", xq::CompareOp::kEq, xq::Constant::Int(30)});
+  xq::ResultSet r = Execute(b);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Str("alpha"));
+}
+
+opt::QueryBlock JoinBlock(bool outer) {
+  opt::QueryBlock b;
+  b.rels.push_back(opt::BaseRel{"P", "p"});
+  b.rels.push_back(opt::BaseRel{"C", "c"});
+  b.joins.push_back(opt::JoinEdge{0, "P_id", 1, "parent_P", outer});
+  b.output.push_back(opt::ColumnRef{1, "name", "name"});
+  return b;
+}
+
+TEST_F(EngineTest, InnerJoinMatchesFks) {
+  xq::ResultSet r = Execute(JoinBlock(false));
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(EngineTest, JoinWithFilterOnChild) {
+  opt::QueryBlock b = JoinBlock(false);
+  b.filters.push_back(opt::FilterPred{1, "size", xq::CompareOp::kEq, xq::Constant::Int(10)});
+  xq::ResultSet r = Execute(b);
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(EngineTest, LeftOuterJoinKeepsUnmatchedOuter) {
+  // Filter children to none; the parent row must survive with NULL name.
+  opt::QueryBlock b = JoinBlock(true);
+  b.filters.push_back(
+      opt::FilterPred{1, "name", xq::CompareOp::kEq, xq::Constant::Str("nonexistent")});
+  xq::ResultSet r = Execute(b);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(EngineTest, ExplicitIndexNlJoinPlanExecutes) {
+  // Hand-build an IndexNLJoin plan: scan P, probe C.parent_P.
+  opt::QueryBlock b = JoinBlock(false);
+  auto scan = std::make_shared<PhysicalPlan>();
+  scan->kind = PhysicalPlan::Kind::kSeqScan;
+  scan->rel = 0;
+  auto join = std::make_shared<PhysicalPlan>();
+  join->kind = PhysicalPlan::Kind::kIndexNLJoin;
+  join->left = scan;
+  join->rel = 1;
+  join->index_column = "parent_P";
+  join->left_join_rel = 0;
+  join->left_join_column = "P_id";
+  join->right_join_rel = 1;
+  join->right_join_column = "parent_P";
+  auto project = std::make_shared<PhysicalPlan>();
+  project->kind = PhysicalPlan::Kind::kProject;
+  project->child = join;
+  Executor exec(db_.get());
+  auto r = exec.ExecuteBlock(b, project);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 3u);
+  EXPECT_GT(exec.stats().seeks, 0);
+}
+
+TEST_F(EngineTest, ExplicitIndexLookupPlanExecutes) {
+  opt::QueryBlock b = ChildBlock();
+  b.filters.push_back(opt::FilterPred{0, "C_id", xq::CompareOp::kEq, xq::Constant::Int(3)});
+  auto lookup = std::make_shared<PhysicalPlan>();
+  lookup->kind = PhysicalPlan::Kind::kIndexLookup;
+  lookup->rel = 0;
+  lookup->index_column = "C_id";
+  lookup->filters = b.filters;
+  auto project = std::make_shared<PhysicalPlan>();
+  project->kind = PhysicalPlan::Kind::kProject;
+  project->child = lookup;
+  Executor exec(db_.get());
+  auto r = exec.ExecuteBlock(b, project);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST_F(EngineTest, NullLiteralOutputColumn) {
+  opt::QueryBlock b = ChildBlock();
+  opt::ColumnRef null_col;
+  null_col.rel = -1;
+  null_col.label = "missing";
+  b.output.push_back(null_col);
+  xq::ResultSet r = Execute(b);
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(EngineTest, StatsAccumulateAcrossBlocks) {
+  Executor exec(db_.get());
+  opt::Optimizer optimizer(mapping_->catalog());
+  opt::QueryBlock b = ChildBlock();
+  auto planned = optimizer.PlanBlock(b);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_TRUE(exec.ExecuteBlock(b, planned->plan).ok());
+  double first = exec.stats().tuples_processed;
+  ASSERT_TRUE(exec.ExecuteBlock(b, planned->plan).ok());
+  EXPECT_NEAR(exec.stats().tuples_processed, 2 * first, 1e-9);
+  exec.ResetStats();
+  EXPECT_EQ(exec.stats().tuples_processed, 0);
+}
+
+TEST_F(EngineTest, WeightedCostCombinesCounters) {
+  ExecStats s;
+  s.seeks = 2;
+  s.bytes_read = 100;
+  s.bytes_out = 50;
+  s.tuples_processed = 10;
+  EXPECT_DOUBLE_EQ(s.WeightedCost(10, 0.5, 1, 0.1), 20 + 50 + 50 + 1);
+}
+
+TEST_F(EngineTest, RejectsPlanWithoutProjection) {
+  auto scan = std::make_shared<PhysicalPlan>();
+  scan->kind = PhysicalPlan::Kind::kSeqScan;
+  scan->rel = 0;
+  Executor exec(db_.get());
+  EXPECT_FALSE(exec.ExecuteBlock(ChildBlock(), scan).ok());
+}
+
+}  // namespace
+}  // namespace legodb::engine

@@ -1,0 +1,149 @@
+// Tests for the IMDB application module: schema/stats fidelity to the
+// paper's appendices, workload construction, and statistical shape of the
+// synthetic generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "imdb/imdb.h"
+#include "xml/dom.h"
+#include "xschema/stats_collector.h"
+
+namespace legodb::imdb {
+namespace {
+
+TEST(ImdbSchema, HasAllAppendixBTypes) {
+  auto schema = Schema();
+  ASSERT_TRUE(schema.ok());
+  for (const char* type : {"IMDB", "Show", "Movie", "TV", "Director",
+                           "Actor"}) {
+    EXPECT_TRUE(schema->Has(type)) << type;
+  }
+}
+
+TEST(ImdbStats, MatchesAppendixAHeadlineNumbers) {
+  auto stats = Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->Count({"imdb"}), 1);
+  EXPECT_EQ(stats->Count({"imdb", "show"}), 34798);
+  EXPECT_EQ(stats->Count({"imdb", "director"}), 26251);
+  EXPECT_EQ(stats->Count({"imdb", "actor"}), 165786);
+  EXPECT_EQ(stats->Count({"imdb", "show", "episodes"}), 31250);
+  const xs::PathStat* year = stats->Find({"imdb", "show", "year"});
+  ASSERT_NE(year, nullptr);
+  ASSERT_TRUE(year->base.has_value());
+  EXPECT_EQ(year->base->min, 1800);
+  EXPECT_EQ(year->base->max, 2100);
+}
+
+TEST(ImdbWorkloads, ComposeAsInSection52) {
+  auto lookup = MakeWorkload("lookup");
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_EQ(lookup->queries.size(), 5u);  // Q8, Q9, Q11, Q12, Q13
+  auto publish = MakeWorkload("publish");
+  ASSERT_TRUE(publish.ok());
+  EXPECT_EQ(publish->queries.size(), 3u);  // Q15-Q17
+  for (const auto& q : publish->queries) {
+    EXPECT_TRUE(q.query.IsPublish()) << q.name;
+  }
+  auto w1 = MakeWorkload("w1");
+  ASSERT_TRUE(w1.ok());
+  EXPECT_DOUBLE_EQ(w1->queries[0].weight, 0.4);
+  EXPECT_DOUBLE_EQ(w1->queries[3].weight, 0.1);
+  EXPECT_FALSE(MakeWorkload("nope").ok());
+}
+
+TEST(ImdbGenerator, DeterministicForSeed) {
+  ImdbScale scale;
+  scale.shows = 10;
+  scale.directors = 4;
+  scale.actors = 5;
+  xml::Document a = Generate(scale);
+  xml::Document b = Generate(scale);
+  EXPECT_EQ(a.root->SubtreeSize(), b.root->SubtreeSize());
+}
+
+TEST(ImdbGenerator, ScaleControlsCounts) {
+  ImdbScale scale;
+  scale.shows = 40;
+  scale.directors = 15;
+  scale.actors = 25;
+  xml::Document doc = Generate(scale);
+  EXPECT_EQ(doc.root->ChildrenNamed("show").size(), 40u);
+  EXPECT_EQ(doc.root->ChildrenNamed("director").size(), 15u);
+  EXPECT_EQ(doc.root->ChildrenNamed("actor").size(), 25u);
+}
+
+TEST(ImdbGenerator, ShapeTracksScaleRatios) {
+  ImdbScale scale;
+  scale.shows = 300;
+  scale.directors = 60;
+  scale.actors = 100;
+  xml::Document doc = Generate(scale);
+  xs::StatsCollector collector;
+  collector.AddDocument(doc);
+  xs::StatsSet stats = collector.Finish();
+
+  // TV fraction ~ 0.2: seasons count should be well below show count.
+  auto shows = stats.Count({"imdb", "show"});
+  auto seasons = stats.Count({"imdb", "show", "seasons"});
+  ASSERT_TRUE(shows.has_value());
+  ASSERT_TRUE(seasons.has_value());
+  double tv_fraction = static_cast<double>(*seasons) / *shows;
+  EXPECT_GT(tv_fraction, 0.05);
+  EXPECT_LT(tv_fraction, 0.4);
+
+  // Movies carry box_office; movies + tv = shows.
+  auto box_office = stats.Count({"imdb", "show", "box_office"});
+  ASSERT_TRUE(box_office.has_value());
+  EXPECT_EQ(*box_office + *seasons, *shows);
+
+  // played per actor ~ 4.
+  auto actors = stats.Count({"imdb", "actor"});
+  auto played = stats.Count({"imdb", "actor", "played"});
+  ASSERT_TRUE(actors.has_value());
+  ASSERT_TRUE(played.has_value());
+  double per_actor = static_cast<double>(*played) / *actors;
+  EXPECT_GT(per_actor, 2.0);
+  EXPECT_LT(per_actor, 6.0);
+}
+
+TEST(ImdbGenerator, ReviewTagsMixNytAndOthers) {
+  ImdbScale scale;
+  scale.shows = 200;
+  scale.review_mean = 2.0;  // plenty of reviews
+  xml::Document doc = Generate(scale);
+  int nyt = 0, other = 0;
+  for (const auto* show : doc.root->ChildrenNamed("show")) {
+    for (const auto* reviews : show->ChildrenNamed("reviews")) {
+      for (const auto& child : reviews->children()) {
+        if (!child->is_element()) continue;
+        (child->name() == "nyt" ? nyt : other) += 1;
+      }
+    }
+  }
+  EXPECT_GT(nyt, 10);
+  EXPECT_GT(other, 10);
+}
+
+TEST(ImdbGenerator, JoinKeysOverlapForQ12StyleQueries) {
+  // Actor and director name pools overlap so name-equality joins match.
+  ImdbScale scale;
+  scale.shows = 50;
+  scale.directors = 20;
+  scale.actors = 30;
+  xml::Document doc = Generate(scale);
+  std::set<std::string> director_names, actor_names;
+  for (const auto* d : doc.root->ChildrenNamed("director")) {
+    director_names.insert(d->FirstChildNamed("name")->TextContent());
+  }
+  for (const auto* a : doc.root->ChildrenNamed("actor")) {
+    actor_names.insert(a->FirstChildNamed("name")->TextContent());
+  }
+  int overlap = 0;
+  for (const auto& name : actor_names) overlap += director_names.count(name);
+  EXPECT_GT(overlap, 0);
+}
+
+}  // namespace
+}  // namespace legodb::imdb

@@ -1,0 +1,280 @@
+// Unit tests for the p-schema module: stratification checking,
+// normalization, initial configurations, node addressing, and the
+// inline/outline primitives.
+#include <gtest/gtest.h>
+
+#include "imdb/imdb.h"
+#include "pschema/pschema.h"
+#include "xml/parser.h"
+#include "xschema/schema_parser.h"
+#include "xschema/validator.h"
+
+namespace legodb::ps {
+namespace {
+
+using xs::ParseSchema;
+using xs::Schema;
+using xs::Type;
+using xs::TypePtr;
+
+Schema S(const char* text) {
+  auto schema = ParseSchema(text);
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+// ---- CheckPhysical ----
+
+TEST(CheckPhysical, AcceptsStratifiedSchema) {
+  Schema s = S("type A = a[ @k[ String ], x[ Integer ], B*, (C | D)? ] "
+               "type B = b[ String ] type C = c[ String ] "
+               "type D = d[ Integer ]");
+  EXPECT_TRUE(CheckPhysical(s).ok());
+}
+
+TEST(CheckPhysical, RejectsRepetitionOverElements) {
+  Schema s = S("type A = a[ b[ String ]* ]");
+  EXPECT_FALSE(CheckPhysical(s).ok());
+}
+
+TEST(CheckPhysical, RejectsUnionOverElements) {
+  Schema s = S("type A = a[ (b[ String ] | c[ String ]) ]");
+  EXPECT_FALSE(CheckPhysical(s).ok());
+}
+
+TEST(CheckPhysical, AcceptsOptionalElementContent) {
+  Schema s = S("type A = a[ (b[ String ], c[ Integer ])? ]");
+  EXPECT_TRUE(CheckPhysical(s).ok());
+}
+
+TEST(CheckPhysical, RejectsImdbBeforeNormalization) {
+  auto schema = imdb::Schema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(CheckPhysical(schema.value()).ok());
+}
+
+// ---- Normalize ----
+
+TEST(Normalize, OutlinesMultiValuedElements) {
+  Schema s = S("type A = a[ b[ String ]* ]");
+  Schema n = Normalize(s);
+  EXPECT_TRUE(CheckPhysical(n).ok());
+  EXPECT_TRUE(n.Has("B"));  // outlined type named after the element
+  TypePtr body = n.Get("A");
+  EXPECT_EQ(body->child->kind, Type::Kind::kRepetition);
+  EXPECT_EQ(body->child->child->ref_name, "B");
+}
+
+TEST(Normalize, OutlinesUnionAlternatives) {
+  Schema s = S("type A = a[ (b[ String ] | c[ String ]) ]");
+  Schema n = Normalize(s);
+  EXPECT_TRUE(CheckPhysical(n).ok());
+  EXPECT_TRUE(n.Has("B"));
+  EXPECT_TRUE(n.Has("C"));
+}
+
+TEST(Normalize, IsIdempotent) {
+  Schema n1 = Normalize(*imdb::Schema());
+  Schema n2 = Normalize(n1);
+  EXPECT_EQ(n1.type_names(), n2.type_names());
+  for (const auto& name : n1.type_names()) {
+    EXPECT_TRUE(xs::TypeEquals(n1.Get(name), n2.Get(name))) << name;
+  }
+}
+
+TEST(Normalize, PreservesDocumentValidity) {
+  auto schema = *imdb::Schema();
+  Schema normalized = Normalize(schema);
+  imdb::ImdbScale scale;
+  scale.shows = 10;
+  scale.directors = 4;
+  scale.actors = 5;
+  xml::Document doc = imdb::Generate(scale);
+  EXPECT_TRUE(xs::ValidateDocument(doc, schema).ok());
+  EXPECT_TRUE(xs::ValidateDocument(doc, normalized).ok());
+}
+
+TEST(Normalize, FreshNamesAvoidCollisions) {
+  Schema s = S("type A = a[ b[ String ]* ] type B = other[ Integer ]");
+  Schema n = Normalize(s);
+  EXPECT_TRUE(CheckPhysical(n).ok());
+  // The existing B is untouched; the outlined b element gets B_2.
+  EXPECT_EQ(n.Get("B")->name.name, "other");
+  EXPECT_TRUE(n.Has("B_2"));
+}
+
+// ---- Initial configurations ----
+
+TEST(AllOutlinedTest, EveryNestedElementBecomesAType) {
+  Schema s = S("type A = a[ b[ c[ String ] ], d[ Integer ] ]");
+  Schema out = AllOutlined(s);
+  EXPECT_TRUE(CheckPhysical(out).ok());
+  // b, c, d each get their own type.
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(AllOutlinedTest, ImdbValidityPreserved) {
+  Schema out = AllOutlined(*imdb::Schema());
+  imdb::ImdbScale scale;
+  scale.shows = 6;
+  scale.directors = 2;
+  scale.actors = 3;
+  xml::Document doc = imdb::Generate(scale);
+  EXPECT_TRUE(xs::ValidateDocument(doc, out).ok());
+}
+
+TEST(AllInlinedTest, CollapsesSingletonTypes) {
+  Schema s = S("type A = a[ B, C* ] type B = b[ String ] type C = c[ Integer ]");
+  Schema in = AllInlined(s);
+  EXPECT_TRUE(CheckPhysical(in).ok());
+  EXPECT_FALSE(in.Has("B"));  // singleton inlined
+  EXPECT_TRUE(in.Has("C"));   // multi-valued must stay
+}
+
+TEST(AllInlinedTest, FlattensUnionsToOptions) {
+  Schema in = AllInlined(*imdb::Schema());
+  // Movie/TV content ends up as nullable inline content of Show.
+  EXPECT_FALSE(in.Has("Movie"));
+  EXPECT_FALSE(in.Has("TV"));
+  std::string show = in.Get("Show")->ToString();
+  EXPECT_NE(show.find("box_office"), std::string::npos);
+  EXPECT_NE(show.find("seasons"), std::string::npos);
+}
+
+TEST(AllInlinedTest, KeepUnionsWhenAsked) {
+  Schema in = AllInlined(*imdb::Schema(), /*flatten_unions=*/false);
+  EXPECT_TRUE(CheckPhysical(in).ok());
+  EXPECT_TRUE(in.Has("Movie"));
+  EXPECT_TRUE(in.Has("TV"));
+}
+
+TEST(AllInlinedTest, RecursiveTypesSurvive) {
+  Schema s = S("type N = n[ v[ Integer ], N* ]");
+  Schema in = AllInlined(s);
+  EXPECT_TRUE(CheckPhysical(in).ok());
+  EXPECT_TRUE(in.Has("N"));
+}
+
+// ---- Node addressing ----
+
+TEST(NodePathTest, NodeAtNavigates) {
+  Schema s = S("type A = a[ b[ String ], c[ Integer ] ]");
+  TypePtr body = s.Get("A");
+  // body = element a; child = sequence; children[1] = element c.
+  TypePtr c = NodeAt(body, {0, 1});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name.name, "c");
+  EXPECT_EQ(NodeAt(body, {0, 5}), nullptr);
+  EXPECT_EQ(NodeAt(body, {}), body);
+}
+
+TEST(NodePathTest, ReplaceAtRebuildsSpine) {
+  Schema s = S("type A = a[ b[ String ], c[ Integer ] ]");
+  TypePtr body = s.Get("A");
+  TypePtr replaced = ReplaceAt(body, {0, 1}, Type::Ref("C"));
+  EXPECT_EQ(NodeAt(replaced, {0, 1})->kind, Type::Kind::kTypeRef);
+  // Untouched siblings are shared, not copied.
+  EXPECT_EQ(NodeAt(replaced, {0, 0}), NodeAt(body, {0, 0}));
+}
+
+// ---- Inline / outline primitives ----
+
+TEST(OutlineAtTest, MovesElementToNewType) {
+  Schema s = S("type A = a[ b[ String ], c[ Integer ] ]");
+  std::string new_type;
+  auto out = OutlineAt(s, "A", {0, 1}, &new_type);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(new_type, "C");
+  EXPECT_EQ(NodeAt(out->Get("A"), {0, 1})->ref_name, "C");
+  EXPECT_EQ(out->Get("C")->name.name, "c");
+}
+
+TEST(OutlineAtTest, RejectsBodyRootAndNonElements) {
+  Schema s = S("type A = a[ b[ String ] ]");
+  EXPECT_FALSE(OutlineAt(s, "A", {}).ok());       // body root
+  EXPECT_FALSE(OutlineAt(s, "A", {0, 0}).ok());   // scalar node
+  EXPECT_FALSE(OutlineAt(s, "Zzz", {0}).ok());    // unknown type
+}
+
+TEST(InlineTypeTest, ElidesSingletonType) {
+  Schema s = S("type A = a[ B ] type B = b[ String ]");
+  auto out = InlineType(s, "B");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out->Has("B"));
+  EXPECT_EQ(NodeAt(out->Get("A"), {0})->name.name, "b");
+}
+
+TEST(InlineTypeTest, RefusesRoot) {
+  Schema s = S("type A = a[ String ]");
+  EXPECT_FALSE(InlineType(s, "A").ok());
+}
+
+TEST(InlineTypeTest, RefusesShared) {
+  Schema s = S("type A = a[ B, c[ B ] ] type B = b[ String ]");
+  EXPECT_FALSE(InlineType(s, "B").ok());
+}
+
+TEST(InlineTypeTest, RefusesMultiValuedPosition) {
+  Schema s = S("type A = a[ B* ] type B = b[ String ]");
+  EXPECT_FALSE(InlineType(s, "B").ok());
+}
+
+TEST(InlineTypeTest, RefusesUnionAlternative) {
+  Schema s = S("type A = a[ (B | C) ] type B = b[ String ] "
+               "type C = c[ String ]");
+  EXPECT_FALSE(InlineType(s, "B").ok());
+}
+
+TEST(InlineTypeTest, RefusesRecursive) {
+  Schema s = S("type A = a[ B? ] type B = b[ B? ]");
+  EXPECT_FALSE(InlineType(s, "B").ok());
+}
+
+TEST(InlineTypeTest, AllowsOptionalPosition) {
+  Schema s = S("type A = a[ B? ] type B = b[ String ]");
+  auto out = InlineType(s, "B");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(CheckPhysical(out.value()).ok());
+}
+
+TEST(InlineOutline, AreInverse) {
+  Schema s = Normalize(S("type A = a[ b[ String ], c[ Integer ] ]"));
+  std::string new_type;
+  Schema outlined = *OutlineAt(s, "A", {0, 1}, &new_type);
+  Schema back = *InlineType(outlined, new_type);
+  EXPECT_TRUE(xs::TypeEquals(back.Get("A"), s.Get("A")));
+}
+
+TEST(Candidates, OutlineEnumerationCoversNestedElements) {
+  Schema s = Normalize(S("type A = a[ b[ c[ String ] ] ]"));
+  auto candidates = EnumerateOutlineCandidates(s);
+  // b and c (not the root element a).
+  EXPECT_EQ(candidates.size(), 2u);
+}
+
+TEST(Candidates, InlineEnumerationRespectsConstraints) {
+  Schema s = S("type A = a[ B, C*, (D | E) ] type B = b[ String ] "
+               "type C = c[ String ] type D = d[ String ] "
+               "type E = e[ String ]");
+  auto candidates = EnumerateInlineCandidates(s);
+  EXPECT_EQ(candidates, (std::vector<std::string>{"B"}));
+}
+
+TEST(Candidates, MoveSetsShrinkToFixpoint) {
+  // Applying all inline candidates repeatedly terminates.
+  Schema s = AllOutlined(*imdb::Schema());
+  int steps = 0;
+  while (true) {
+    auto candidates = EnumerateInlineCandidates(s);
+    if (candidates.empty()) break;
+    auto next = InlineType(s, candidates[0]);
+    ASSERT_TRUE(next.ok());
+    s = std::move(next).value();
+    ASSERT_LT(++steps, 200);
+  }
+  EXPECT_GT(steps, 5);
+  EXPECT_TRUE(CheckPhysical(s).ok());
+}
+
+}  // namespace
+}  // namespace legodb::ps

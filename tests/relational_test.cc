@@ -1,0 +1,88 @@
+// Unit tests for the relational catalog: SQL types, row width accounting,
+// column lookup, DDL rendering and catalog totals.
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+
+namespace legodb::rel {
+namespace {
+
+TEST(SqlTypeTest, Rendering) {
+  EXPECT_EQ(SqlType::Int().ToString(), "INT");
+  EXPECT_EQ(SqlType::Char(40).ToString(), "CHAR(40)");
+  EXPECT_EQ(SqlType::Varchar(100).ToString(), "STRING");
+}
+
+TEST(SqlTypeTest, Widths) {
+  EXPECT_DOUBLE_EQ(SqlType::Int().width, 4);
+  EXPECT_DOUBLE_EQ(SqlType::Char(40).width, 40);
+  EXPECT_DOUBLE_EQ(SqlType::Varchar(123).width, 123);
+}
+
+Table MakeTable() {
+  Table t;
+  t.name = "Show";
+  t.key_column = "Show_id";
+  t.row_count = 100;
+  Column id, title, desc, fk;
+  id.name = "Show_id";
+  id.type = SqlType::Int();
+  title.name = "title";
+  title.type = SqlType::Char(50);
+  desc.name = "description";
+  desc.type = SqlType::Char(120);
+  desc.nullable = true;
+  desc.null_fraction = 0.5;
+  fk.name = "parent_IMDB";
+  fk.type = SqlType::Int();
+  t.columns = {id, title, desc, fk};
+  t.foreign_keys = {ForeignKey{"parent_IMDB", "IMDB"}};
+  return t;
+}
+
+TEST(TableTest, RowWidthAccountsForNullFractions) {
+  Table t = MakeTable();
+  // overhead 8 + id 4 + title 50 + desc 120*0.5 + null byte 1 + fk 4.
+  EXPECT_DOUBLE_EQ(t.RowWidth(), 8 + 4 + 50 + 60 + 1 + 4);
+}
+
+TEST(TableTest, ColumnLookup) {
+  Table t = MakeTable();
+  EXPECT_NE(t.FindColumn("title"), nullptr);
+  EXPECT_EQ(t.FindColumn("nope"), nullptr);
+  EXPECT_EQ(t.ColumnIndex("Show_id"), 0);
+  EXPECT_EQ(t.ColumnIndex("parent_IMDB"), 3);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog c;
+  c.AddTable(MakeTable());
+  EXPECT_TRUE(c.HasTable("Show"));
+  EXPECT_FALSE(c.HasTable("Nope"));
+  EXPECT_EQ(c.FindTable("Nope"), nullptr);
+  EXPECT_EQ(c.GetTable("Show").row_count, 100);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.table_names(), (std::vector<std::string>{"Show"}));
+}
+
+TEST(CatalogTest, TotalBytes) {
+  Catalog c;
+  c.AddTable(MakeTable());
+  EXPECT_DOUBLE_EQ(c.TotalBytes(), 100 * (8 + 4 + 50 + 60 + 1 + 4));
+}
+
+TEST(CatalogTest, DdlListsKeysAndConstraints) {
+  Catalog c;
+  c.AddTable(MakeTable());
+  std::string ddl = c.ToDdl();
+  EXPECT_NE(ddl.find("TABLE Show"), std::string::npos);
+  EXPECT_NE(ddl.find("Show_id INT PRIMARY KEY"), std::string::npos);
+  EXPECT_NE(ddl.find("description CHAR(120) NULL"), std::string::npos);
+  EXPECT_NE(ddl.find("FOREIGN KEY (parent_IMDB) REFERENCES IMDB"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("100 rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace legodb::rel

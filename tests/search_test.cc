@@ -1,0 +1,246 @@
+// Tests for the greedy search (Algorithm 4.1), the cost function, workload
+// utilities, and the MappingEngine facade.
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/legodb.h"
+#include "core/search.h"
+#include "imdb/imdb.h"
+#include "pschema/pschema.h"
+#include "xschema/annotate.h"
+
+namespace legodb::core {
+namespace {
+
+xs::Schema AnnotatedImdb() {
+  auto schema = imdb::Schema();
+  EXPECT_TRUE(schema.ok());
+  auto stats = imdb::Stats();
+  EXPECT_TRUE(stats.ok());
+  return xs::AnnotateSchema(schema.value(), stats.value());
+}
+
+Workload Lookup() {
+  auto w = imdb::MakeWorkload("lookup");
+  EXPECT_TRUE(w.ok());
+  return std::move(w).value();
+}
+
+// ---- Workload ----
+
+TEST(WorkloadTest, AddRejectsBadQueries) {
+  Workload w;
+  EXPECT_FALSE(w.Add("bad", "FOR FOR FOR", 1).ok());
+  EXPECT_TRUE(w.Add("ok", imdb::QueryText("Q1"), 0.5).ok());
+  EXPECT_DOUBLE_EQ(w.TotalWeight(), 0.5);
+}
+
+TEST(WorkloadTest, MixNormalizesAndInterpolates) {
+  Workload a, b;
+  ASSERT_TRUE(a.Add("A", imdb::QueryText("Q1"), 2).ok());
+  ASSERT_TRUE(b.Add("B", imdb::QueryText("Q16"), 4).ok());
+  Workload mix = Workload::Mix(a, b, 0.25);
+  ASSERT_EQ(mix.queries.size(), 2u);
+  EXPECT_DOUBLE_EQ(mix.queries[0].weight, 0.25);
+  EXPECT_DOUBLE_EQ(mix.queries[1].weight, 0.75);
+  EXPECT_NEAR(mix.TotalWeight(), 1.0, 1e-12);
+}
+
+TEST(WorkloadTest, PathStepNamesCoverAllClauses) {
+  Workload w;
+  ASSERT_TRUE(w.Add("Q7", imdb::QueryText("Q7"), 1).ok());
+  auto steps = w.PathStepNames();
+  auto has = [&](const char* s) {
+    return std::find(steps.begin(), steps.end(), s) != steps.end();
+  };
+  EXPECT_TRUE(has("episodes"));
+  EXPECT_TRUE(has("guest_director"));  // from the nested WHERE
+  EXPECT_TRUE(has("title"));
+}
+
+// ---- CostSchema ----
+
+TEST(CostSchemaTest, WeightsScaleTotal) {
+  xs::Schema config = ps::AllInlined(AnnotatedImdb());
+  opt::CostParams params;
+  Workload w1, w2;
+  ASSERT_TRUE(w1.Add("Q1", imdb::QueryText("Q1"), 1).ok());
+  ASSERT_TRUE(w2.Add("Q1", imdb::QueryText("Q1"), 3).ok());
+  auto c1 = CostSchema(config, w1, params);
+  auto c2 = CostSchema(config, w2, params);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NEAR(c2->total, 3 * c1->total, 1e-6);
+  EXPECT_EQ(c1->per_query.size(), 1u);
+}
+
+TEST(CostSchemaTest, PublishCostsMoreThanLookup) {
+  xs::Schema config = ps::AllInlined(AnnotatedImdb());
+  opt::CostParams params;
+  Workload lookup, publish;
+  ASSERT_TRUE(lookup.Add("Q2", imdb::QueryText("Q2"), 1).ok());
+  ASSERT_TRUE(publish.Add("Q16", imdb::QueryText("Q16"), 1).ok());
+  auto cl = CostSchema(config, lookup, params);
+  auto cp = CostSchema(config, publish, params);
+  ASSERT_TRUE(cl.ok());
+  ASSERT_TRUE(cp.ok());
+  EXPECT_GT(cp->total, cl->total);
+}
+
+// ---- Greedy search ----
+
+TEST(GreedySearchTest, TraceIsMonotonicallyImproving) {
+  opt::CostParams params;
+  auto result =
+      GreedySearch(AnnotatedImdb(), Lookup(), params, GreedySoOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->trace.size(), 2u);
+  for (size_t i = 1; i < result->trace.size(); ++i) {
+    EXPECT_LT(result->trace[i].cost, result->trace[i - 1].cost);
+    EXPECT_FALSE(result->trace[i].applied.empty());
+    EXPECT_GT(result->trace[i].candidates, 0);
+  }
+  EXPECT_DOUBLE_EQ(result->best_cost, result->trace.back().cost);
+}
+
+TEST(GreedySearchTest, BestSchemaIsPhysical) {
+  opt::CostParams params;
+  auto result =
+      GreedySearch(AnnotatedImdb(), Lookup(), params, GreedySiOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ps::CheckPhysical(result->best_schema).ok());
+}
+
+TEST(GreedySearchTest, SiAndSoConvergeToSimilarCosts) {
+  // The paper observes both variants converge to similar costs (Fig. 10).
+  opt::CostParams params;
+  auto so = GreedySearch(AnnotatedImdb(), Lookup(), params, GreedySoOptions());
+  auto si = GreedySearch(AnnotatedImdb(), Lookup(), params, GreedySiOptions());
+  ASSERT_TRUE(so.ok());
+  ASSERT_TRUE(si.ok());
+  double ratio = so->best_cost / si->best_cost;
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(GreedySearchTest, ImprovementThresholdStopsEarly) {
+  opt::CostParams params;
+  SearchOptions strict = GreedySoOptions();
+  auto full = GreedySearch(AnnotatedImdb(), Lookup(), params, strict);
+  SearchOptions lax = GreedySoOptions();
+  lax.min_relative_improvement = 0.25;  // stop below 25% improvement
+  auto early = GreedySearch(AnnotatedImdb(), Lookup(), params, lax);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(early.ok());
+  EXPECT_LE(early->trace.size(), full->trace.size());
+  EXPECT_GE(early->best_cost, full->best_cost);
+}
+
+TEST(GreedySearchTest, MaxIterationsRespected) {
+  opt::CostParams params;
+  SearchOptions options = GreedySoOptions();
+  options.max_iterations = 1;
+  auto result = GreedySearch(AnnotatedImdb(), Lookup(), params, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->trace.size(), 2u);
+}
+
+TEST(GreedySearchTest, SearchedBeatsAllInlinedOnLookups) {
+  // The headline Section-5.3 claim: cost-based search beats the
+  // inline-everything heuristic for lookup workloads.
+  opt::CostParams params;
+  xs::Schema annotated = AnnotatedImdb();
+  auto searched = GreedySearch(annotated, Lookup(), params, GreedySoOptions());
+  ASSERT_TRUE(searched.ok());
+  auto inlined = CostSchema(ps::AllInlined(annotated), Lookup(), params);
+  ASSERT_TRUE(inlined.ok());
+  EXPECT_LT(searched->best_cost, inlined->total);
+}
+
+TEST(GreedySearchTest, CostCacheReducesOptimizerCalls) {
+  opt::CostParams params;
+  SearchOptions with_cache = GreedySoOptions();
+  SearchOptions without_cache = GreedySoOptions();
+  without_cache.cache_query_costs = false;
+  auto cached = GreedySearch(AnnotatedImdb(), Lookup(), params, with_cache);
+  auto plain = GreedySearch(AnnotatedImdb(), Lookup(), params, without_cache);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(plain.ok());
+  // Identical result, fewer optimizer invocations.
+  EXPECT_DOUBLE_EQ(cached->best_cost, plain->best_cost);
+  EXPECT_GT(cached->stats.cache_hits, 0);
+  EXPECT_LT(cached->stats.cost_evaluations, plain->stats.cost_evaluations);
+  EXPECT_EQ(plain->stats.cache_hits, 0);
+}
+
+TEST(GreedySearchTest, BeamSearchNeverWorseThanGreedy) {
+  opt::CostParams params;
+  SearchOptions greedy = GreedySoOptions();
+  SearchOptions beam = GreedySoOptions();
+  beam.beam_width = 3;
+  auto g = GreedySearch(AnnotatedImdb(), Lookup(), params, greedy);
+  auto b = GreedySearch(AnnotatedImdb(), Lookup(), params, beam);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->best_cost, g->best_cost * (1 + 1e-9));
+  EXPECT_TRUE(ps::CheckPhysical(b->best_schema).ok());
+}
+
+TEST(GreedySearchTest, StructuralMovesCanJoinTheSearch) {
+  // Allow union distribution in the move set: the search must remain
+  // well-formed and no worse than the inline/outline-only search.
+  opt::CostParams params;
+  SearchOptions options = GreedySoOptions();
+  options.transforms.union_distribute = true;
+  options.transforms.wildcard_materialize = true;
+  options.transforms.wildcard_tags = {"nyt"};
+  Workload lookups = Lookup();
+  auto plain = GreedySearch(AnnotatedImdb(), lookups, params,
+                            GreedySoOptions());
+  auto rich = GreedySearch(AnnotatedImdb(), lookups, params, options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(rich.ok());
+  EXPECT_LE(rich->best_cost, plain->best_cost * (1 + 1e-9));
+  EXPECT_TRUE(ps::CheckPhysical(rich->best_schema).ok());
+}
+
+// ---- MappingEngine facade ----
+
+TEST(MappingEngineTest, EndToEnd) {
+  MappingEngine engine;
+  ASSERT_TRUE(engine.LoadSchemaText(imdb::SchemaText()).ok());
+  ASSERT_TRUE(engine.LoadStatsText(imdb::StatsText()).ok());
+  ASSERT_TRUE(engine.AddQuery("Q1", imdb::QueryText("Q1"), 0.5).ok());
+  ASSERT_TRUE(engine.AddQuery("Q16", imdb::QueryText("Q16"), 0.5).ok());
+  auto result = engine.FindBestConfiguration(GreedySoOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->mapping.catalog().size(), 3u);
+  EXPECT_GT(result->search.best_cost, 0);
+  std::string ddl = result->mapping.catalog().ToDdl();
+  EXPECT_NE(ddl.find("TABLE"), std::string::npos);
+}
+
+TEST(MappingEngineTest, RejectsBadInputs) {
+  MappingEngine engine;
+  EXPECT_FALSE(engine.LoadSchemaText("type = broken").ok());
+  EXPECT_FALSE(engine.LoadStatsText("garbage").ok());
+  EXPECT_FALSE(engine.AddQuery("bad", "NOT A QUERY", 1).ok());
+}
+
+TEST(MappingEngineTest, CostConfigurationMatchesCostSchema) {
+  MappingEngine engine;
+  ASSERT_TRUE(engine.LoadSchemaText(imdb::SchemaText()).ok());
+  ASSERT_TRUE(engine.LoadStatsText(imdb::StatsText()).ok());
+  ASSERT_TRUE(engine.AddQuery("Q1", imdb::QueryText("Q1"), 1).ok());
+  auto annotated = engine.AnnotatedSchema();
+  ASSERT_TRUE(annotated.ok());
+  xs::Schema config = ps::AllInlined(annotated.value());
+  auto via_engine = engine.CostConfiguration(config);
+  auto direct = CostSchema(config, engine.workload(), opt::CostParams{});
+  ASSERT_TRUE(via_engine.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(via_engine->total, direct->total);
+}
+
+}  // namespace
+}  // namespace legodb::core

@@ -1,0 +1,278 @@
+// Unit tests for the XQuery -> relational translation: join derivation,
+// union expansion, wildcard tilde predicates, strict-projection NOT NULL
+// filters, branch pruning, value joins, and publish block shapes.
+#include <gtest/gtest.h>
+
+#include "imdb/imdb.h"
+#include "mapping/mapping.h"
+#include "pschema/pschema.h"
+#include "translate/translate.h"
+#include "xquery/parser.h"
+#include "xschema/annotate.h"
+#include "xschema/schema_parser.h"
+
+namespace legodb::xlat {
+namespace {
+
+map::Mapping MapOf(const xs::Schema& pschema) {
+  auto mapping = map::MapSchema(pschema);
+  EXPECT_TRUE(mapping.ok()) << mapping.status().ToString();
+  return std::move(mapping).value();
+}
+
+map::Mapping MapText(const char* schema_text) {
+  auto schema = xs::ParseSchema(schema_text);
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return MapOf(ps::Normalize(schema.value()));
+}
+
+opt::RelQuery Translate(const map::Mapping& m, const char* query_text) {
+  auto q = xq::ParseQuery(query_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto rq = TranslateQuery(q.value(), m);
+  EXPECT_TRUE(rq.ok()) << rq.status().ToString();
+  return std::move(rq).value();
+}
+
+bool SqlContains(const opt::RelQuery& rq, const std::string& needle) {
+  return rq.ToSql().find(needle) != std::string::npos;
+}
+
+TEST(Translate, InlineColumnAccessNeedsNoJoin) {
+  map::Mapping m = MapText("type A = a[ x[ String ] ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $v IN document(\"d\")/a RETURN $v/x");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].rels.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].output[0].column, "x");
+}
+
+TEST(Translate, CrossingTypeRefAddsFkJoin) {
+  map::Mapping m =
+      MapText("type A = a[ B* ] type B = b[ x[ String ] ]");
+  opt::RelQuery rq =
+      Translate(m, "FOR $v IN document(\"d\")/a, $b IN $v/b RETURN $b/x");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].rels.size(), 2u);
+  ASSERT_EQ(rq.blocks[0].joins.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].joins[0].left_column, "A_id");
+  EXPECT_EQ(rq.blocks[0].joins[0].right_column, "parent_A");
+}
+
+TEST(Translate, PredicateBecomesFilter) {
+  map::Mapping m = MapText("type A = a[ x[ String ], y[ Integer ] ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $v IN document(\"d\")/a WHERE $v/y = 7 RETURN $v/x");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  ASSERT_EQ(rq.blocks[0].filters.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].filters[0].column, "y");
+  EXPECT_EQ(rq.blocks[0].filters[0].value.int_value, 7);
+}
+
+TEST(Translate, NestedInlineContentUsesPrefixedColumn) {
+  map::Mapping m =
+      MapText("type A = a[ bio[ birthday[ String ] ] ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $v IN document(\"d\")/a RETURN $v/bio/birthday");
+  EXPECT_EQ(rq.blocks[0].output[0].column, "bio_birthday");
+}
+
+TEST(Translate, AttributeStepResolves) {
+  map::Mapping m = MapText("type A = a[ @type[ String ], x[ String ] ]");
+  opt::RelQuery rq1 =
+      Translate(m, "FOR $v IN document(\"d\")/a RETURN $v/@type");
+  EXPECT_EQ(rq1.blocks[0].output[0].column, "type");
+  // Plain-name fallback, as the paper's Q1 writes $v/type.
+  opt::RelQuery rq2 =
+      Translate(m, "FOR $v IN document(\"d\")/a RETURN $v/type");
+  EXPECT_EQ(rq2.blocks[0].output[0].column, "type");
+}
+
+TEST(Translate, UnionBindingExpandsToUnionAll) {
+  map::Mapping m = MapText(
+      "type R = r[ S* ] type S = (S1 | S2) "
+      "type S1 = s[ x[ String ], common[ String ] ] "
+      "type S2 = s[ y[ String ], common[ String ] ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $v IN document(\"d\")/r/s RETURN $v/common");
+  EXPECT_EQ(rq.blocks.size(), 2u);  // one block per alternative
+}
+
+TEST(Translate, BranchWithoutPredicatePathIsPruned) {
+  map::Mapping m = MapText(
+      "type R = r[ S* ] type S = (S1 | S2) "
+      "type S1 = s[ x[ String ] ] type S2 = s[ y[ String ] ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $v IN document(\"d\")/r/s WHERE $v/x = c1 RETURN $v/x");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].rels[1].table, "S1");
+}
+
+TEST(Translate, BranchWithoutReturnPathIsPruned) {
+  map::Mapping m = MapText(
+      "type R = r[ S* ] type S = (S1 | S2) "
+      "type S1 = s[ x[ String ] ] type S2 = s[ y[ String ] ]");
+  opt::RelQuery rq =
+      Translate(m, "FOR $v IN document(\"d\")/r/s RETURN $v/y");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].rels[1].table, "S2");
+}
+
+TEST(Translate, WildcardStepAddsTildePredicate) {
+  map::Mapping m = MapText(
+      "type Show = show[ Reviews* ] type Reviews = reviews[ ~[ String ] ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $v IN document(\"d\")/show RETURN $v/reviews/nyt");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  ASSERT_EQ(rq.blocks[0].filters.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].filters[0].column, "tilde");
+  EXPECT_EQ(rq.blocks[0].filters[0].value.string_value, "nyt");
+}
+
+TEST(Translate, MaterializedWildcardSkipsExcludedBranch) {
+  map::Mapping m = MapText(
+      "type Show = show[ Reviews* ] "
+      "type Reviews = reviews[ (Nyt | Other) ] "
+      "type Nyt = nyt[ String ] type Other = ~!nyt[ String ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $v IN document(\"d\")/show RETURN $v/reviews/nyt");
+  // Only the Nyt branch matches the literal step; no tilde filter needed.
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  EXPECT_TRUE(SqlContains(rq, "Nyt"));
+  EXPECT_TRUE(rq.blocks[0].filters.empty());
+  // A non-nyt tag goes to the Other branch with a tilde predicate.
+  opt::RelQuery rq2 = Translate(
+      m, "FOR $v IN document(\"d\")/show RETURN $v/reviews/suntimes");
+  ASSERT_EQ(rq2.blocks.size(), 1u);
+  EXPECT_TRUE(SqlContains(rq2, "Other"));
+  ASSERT_EQ(rq2.blocks[0].filters.size(), 1u);
+  EXPECT_EQ(rq2.blocks[0].filters[0].value.string_value, "suntimes");
+}
+
+TEST(Translate, StrictProjectionAddsNotNull) {
+  map::Mapping m = MapText("type A = a[ x[ String ]?, y[ String ] ]");
+  opt::RelQuery rq =
+      Translate(m, "FOR $v IN document(\"d\")/a RETURN $v/x");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  ASSERT_EQ(rq.blocks[0].filters.size(), 1u);
+  EXPECT_TRUE(rq.blocks[0].filters[0].not_null);
+  // Required columns need no NOT NULL filter.
+  opt::RelQuery rq2 =
+      Translate(m, "FOR $v IN document(\"d\")/a RETURN $v/y");
+  EXPECT_TRUE(rq2.blocks[0].filters.empty());
+}
+
+TEST(Translate, ValueJoinBecomesJoinEdge) {
+  map::Mapping m = MapText(
+      "type R = r[ A*, B* ] type A = a[ n[ String ] ] "
+      "type B = b[ n[ String ] ]");
+  opt::RelQuery rq = Translate(
+      m,
+      "FOR $r IN document(\"d\")/r FOR $a IN $r/a, $b IN $r/b "
+      "WHERE $a/n = $b/n RETURN $a/n");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  // Two FK joins (R->A, R->B) plus the value join on n.
+  EXPECT_EQ(rq.blocks[0].joins.size(), 3u);
+}
+
+TEST(Translate, SubqueryWithWhereSharesBlock) {
+  map::Mapping m = MapText(
+      "type Show = show[ t[ String ], Episodes* ] "
+      "type Episodes = episodes[ gd[ String ] ]");
+  opt::RelQuery rq = Translate(
+      m,
+      "FOR $v IN document(\"d\")/show RETURN $v/t, "
+      "FOR $e IN $v/episodes WHERE $e/gd = c1 RETURN $e/gd");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].rels.size(), 2u);
+  ASSERT_EQ(rq.blocks[0].joins.size(), 1u);
+  EXPECT_FALSE(rq.blocks[0].joins[0].left_outer);  // inner: WHERE present
+}
+
+TEST(Translate, SubqueryWithoutWhereIsLeftOuter) {
+  map::Mapping m = MapText(
+      "type Show = show[ t[ String ], Episodes* ] "
+      "type Episodes = episodes[ gd[ String ] ]");
+  opt::RelQuery rq = Translate(
+      m,
+      "FOR $v IN document(\"d\")/show RETURN $v/t, "
+      "FOR $e IN $v/episodes RETURN $e/gd");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  ASSERT_EQ(rq.blocks[0].joins.size(), 1u);
+  EXPECT_TRUE(rq.blocks[0].joins[0].left_outer);
+}
+
+TEST(Translate, UnfilteredPublishScansEachTableOnce) {
+  map::Mapping m = MapText(
+      "type Show = show[ t[ String ], Aka*, Episodes* ] "
+      "type Aka = aka[ String ] type Episodes = episodes[ n[ String ] ]");
+  opt::RelQuery rq =
+      Translate(m, "FOR $v IN document(\"d\")/show RETURN $v");
+  EXPECT_TRUE(rq.publish);
+  // One scan block per table: Show, Aka, Episodes.
+  ASSERT_EQ(rq.blocks.size(), 3u);
+  for (const auto& b : rq.blocks) {
+    EXPECT_EQ(b.rels.size(), 1u);
+    EXPECT_TRUE(b.joins.empty());
+  }
+}
+
+TEST(Translate, FilteredPublishJoinsDescendantChains) {
+  map::Mapping m = MapText(
+      "type Show = show[ t[ String ], Aka* ] type Aka = aka[ String ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $v IN document(\"d\")/show WHERE $v/t = c1 RETURN $v");
+  EXPECT_TRUE(rq.publish);
+  ASSERT_EQ(rq.blocks.size(), 2u);  // main + Aka chain
+  // The Aka block restricts by the show filter via the FK join.
+  const opt::QueryBlock& aka_block = rq.blocks[1];
+  EXPECT_EQ(aka_block.rels.back().table, "Aka");
+  EXPECT_FALSE(aka_block.joins.empty());
+  EXPECT_FALSE(aka_block.filters.empty());
+}
+
+TEST(Translate, SharedChildTablesDumpedOnceAcrossPartitions) {
+  map::Mapping m = MapText(
+      "type R = r[ S* ] type S = (S1 | S2) "
+      "type S1 = s[ x[ String ], Aka* ] type S2 = s[ y[ String ], Aka* ] "
+      "type Aka = aka[ String ]");
+  opt::RelQuery rq = Translate(m, "FOR $v IN document(\"d\")/r/s RETURN $v");
+  // Blocks: S1, Aka, S2 — Aka only once despite two partitions.
+  int aka_blocks = 0;
+  for (const auto& b : rq.blocks) {
+    if (b.rels[0].table == "Aka") ++aka_blocks;
+  }
+  EXPECT_EQ(aka_blocks, 1);
+}
+
+TEST(Translate, RecursiveNavigationJoinsSameTableTwice) {
+  map::Mapping m = MapText("type N = n[ v[ Integer ], N* ]");
+  opt::RelQuery rq = Translate(
+      m, "FOR $a IN document(\"d\")/n, $b IN $a/n RETURN $b/v");
+  ASSERT_EQ(rq.blocks.size(), 1u);
+  EXPECT_EQ(rq.blocks[0].rels.size(), 2u);
+  EXPECT_EQ(rq.blocks[0].rels[0].table, "N");
+  EXPECT_EQ(rq.blocks[0].rels[1].table, "N");
+  EXPECT_NE(rq.blocks[0].rels[0].alias, rq.blocks[0].rels[1].alias);
+}
+
+TEST(Translate, ImpossibleBindingYieldsNoBlocks) {
+  map::Mapping m = MapText("type A = a[ x[ String ] ]");
+  opt::RelQuery rq =
+      Translate(m, "FOR $v IN document(\"d\")/a/zzz RETURN $v/x");
+  EXPECT_TRUE(rq.blocks.empty());
+}
+
+TEST(Translate, ImdbQ13ProducesSixWayJoin) {
+  auto annotated =
+      xs::AnnotateSchema(*imdb::Schema(), *imdb::Stats());
+  map::Mapping m = MapOf(ps::Normalize(annotated));
+  opt::RelQuery rq = Translate(m, imdb::QueryText("Q13"));
+  ASSERT_GE(rq.blocks.size(), 1u);
+  // imdb, show, actor, played, director, directed, aka = 7 rels.
+  EXPECT_EQ(rq.blocks[0].rels.size(), 7u);
+  EXPECT_GE(rq.blocks[0].joins.size(), 6u);
+}
+
+}  // namespace
+}  // namespace legodb::xlat

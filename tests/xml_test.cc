@@ -1,0 +1,196 @@
+// Unit tests for the XML substrate: DOM operations, parser (including
+// entities, CDATA, comments, error reporting) and serializer round-trips.
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace legodb::xml {
+namespace {
+
+TEST(Dom, BuildTree) {
+  NodePtr root = Node::Element("show");
+  root->SetAttribute("type", "Movie");
+  root->AddElement("title", "The Fugitive");
+  Node* year = root->AddElement("year");
+  year->AddText("1993");
+
+  EXPECT_TRUE(root->is_element());
+  EXPECT_EQ(root->name(), "show");
+  ASSERT_NE(root->FindAttribute("type"), nullptr);
+  EXPECT_EQ(*root->FindAttribute("type"), "Movie");
+  EXPECT_EQ(root->FindAttribute("missing"), nullptr);
+  EXPECT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->FirstChildNamed("year")->TextContent(), "1993");
+}
+
+TEST(Dom, ChildrenNamedReturnsInOrder) {
+  NodePtr root = Node::Element("r");
+  root->AddElement("a", "1");
+  root->AddElement("b", "x");
+  root->AddElement("a", "2");
+  auto matches = root->ChildrenNamed("a");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0]->TextContent(), "1");
+  EXPECT_EQ(matches[1]->TextContent(), "2");
+}
+
+TEST(Dom, TextContentConcatenatesDescendants) {
+  NodePtr root = Node::Element("r");
+  root->AddText("a");
+  root->AddElement("c", "b");
+  root->AddText("c");
+  EXPECT_EQ(root->TextContent(), "abc");
+}
+
+TEST(Dom, SubtreeSizeCountsAllNodes) {
+  NodePtr root = Node::Element("r");
+  root->AddElement("a", "text");  // element + text node
+  EXPECT_EQ(root->SubtreeSize(), 3u);
+}
+
+TEST(Dom, ReleaseChildDetaches) {
+  NodePtr root = Node::Element("r");
+  root->AddElement("a");
+  root->AddElement("b");
+  NodePtr a = root->ReleaseChild(0);
+  EXPECT_EQ(a->name(), "a");
+  ASSERT_EQ(root->children().size(), 1u);
+  EXPECT_EQ(root->children()[0]->name(), "b");
+}
+
+TEST(Parser, SimpleDocument) {
+  auto doc = ParseDocument("<a><b>hi</b><c x='1'/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root->name(), "a");
+  EXPECT_EQ(doc->root->FirstChildNamed("b")->TextContent(), "hi");
+  EXPECT_EQ(*doc->root->FirstChildNamed("c")->FindAttribute("x"), "1");
+}
+
+TEST(Parser, SkipsPrologAndComments) {
+  auto doc = ParseDocument(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]>"
+      "<!-- comment --><a>x<!-- inner --></a><!-- after -->");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root->TextContent(), "x");
+}
+
+TEST(Parser, DecodesPredefinedEntities) {
+  auto doc = ParseDocument("<a x=\"&lt;&amp;&gt;\">&quot;&apos;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root->FindAttribute("x"), "<&>");
+  EXPECT_EQ(doc->root->TextContent(), "\"'");
+}
+
+TEST(Parser, DecodesNumericCharacterReferences) {
+  auto doc = ParseDocument("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->TextContent(), "AB");
+}
+
+TEST(Parser, DecodesMultibyteCharacterReference) {
+  auto doc = ParseDocument("<a>&#233;</a>");  // é
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->TextContent(), "\xC3\xA9");
+}
+
+TEST(Parser, Cdata) {
+  auto doc = ParseDocument("<a><![CDATA[<not> &markup;]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->TextContent(), "<not> &markup;");
+}
+
+TEST(Parser, WhitespaceOnlyTextIsDropped) {
+  auto doc = ParseDocument("<a>\n  <b>x</b>\n  </a>");
+  ASSERT_TRUE(doc.ok());
+  // Only the <b> element child; formatting whitespace is not data.
+  EXPECT_EQ(doc->root->children().size(), 1u);
+}
+
+TEST(Parser, MixedContentPreserved) {
+  auto doc = ParseDocument("<a>before<b/>after</a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root->children().size(), 3u);
+  EXPECT_TRUE(doc->root->children()[0]->is_text());
+  EXPECT_TRUE(doc->root->children()[1]->is_element());
+  EXPECT_TRUE(doc->root->children()[2]->is_text());
+}
+
+TEST(Parser, RejectsMismatchedTags) {
+  auto doc = ParseDocument("<a><b></a></b>");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), Status::Code::kParseError);
+}
+
+TEST(Parser, RejectsUnterminatedElement) {
+  EXPECT_FALSE(ParseDocument("<a><b>").ok());
+}
+
+TEST(Parser, RejectsTrailingContent) {
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+}
+
+TEST(Parser, RejectsUnknownEntity) {
+  EXPECT_FALSE(ParseDocument("<a>&nope;</a>").ok());
+}
+
+TEST(Parser, RejectsMissingAttributeQuotes) {
+  EXPECT_FALSE(ParseDocument("<a x=1/>").ok());
+}
+
+TEST(Parser, ErrorsIncludeLineNumbers) {
+  auto doc = ParseDocument("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(Parser, SingleQuotedAttributes) {
+  auto doc = ParseDocument("<a x='va\"lue'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root->FindAttribute("x"), "va\"lue");
+}
+
+TEST(Parser, NamesWithDotsAndDashes) {
+  auto doc = ParseDocument("<ns:a-b.c><d_e/></ns:a-b.c>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name(), "ns:a-b.c");
+}
+
+TEST(Writer, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeText("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(Writer, SerializeCompact) {
+  NodePtr root = Node::Element("a");
+  root->SetAttribute("k", "v");
+  root->AddElement("b", "x");
+  EXPECT_EQ(Serialize(*root, /*pretty=*/false), "<a k=\"v\"><b>x</b></a>");
+}
+
+TEST(Writer, SelfClosingEmptyElement) {
+  NodePtr root = Node::Element("empty");
+  EXPECT_EQ(Serialize(*root, false), "<empty/>");
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParseSerializeParseIsStable) {
+  auto doc1 = ParseDocument(GetParam());
+  ASSERT_TRUE(doc1.ok()) << doc1.status().ToString();
+  std::string text1 = Serialize(doc1.value());
+  auto doc2 = ParseDocument(text1);
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString();
+  EXPECT_EQ(text1, Serialize(doc2.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, RoundTripTest,
+    ::testing::Values(
+        "<a/>", "<a>text</a>", "<a x=\"1\" y=\"2\"><b/><b>t</b></a>",
+        "<show type=\"Movie\"><title>Fugitive &amp; more</title>"
+        "<year>1993</year><aka>Auf der Flucht</aka></show>",
+        "<r><deep><deeper><deepest>v</deepest></deeper></deep></r>"));
+
+}  // namespace
+}  // namespace legodb::xml

@@ -1,0 +1,204 @@
+// legodb — command-line front end to the mapping engine.
+//
+// Usage:
+//   legodb --schema schema.xalg --stats stats.st \
+//          --query 'Q1:0.4:FOR $v IN ...' [--query ...] \
+//          [--update 'add_review:2.0:imdb/show/reviews'] \
+//          [--start so|si] [--beam N] [--threshold F] [--explain]
+//   legodb --demo imdb|auction       # run on the built-in applications
+//
+// Prints the search trace, the chosen physical XML schema, the derived
+// relational DDL, and (with --explain) the SQL and plan for each query.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "auction/auction.h"
+#include "core/legodb.h"
+#include "imdb/imdb.h"
+#include "xschema/stats_collector.h"
+#include "optimizer/optimizer.h"
+#include "translate/translate.h"
+
+using namespace legodb;
+
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Splits "name:weight:rest" (rest may contain ':').
+StatusOr<std::tuple<std::string, double, std::string>> ParseSpec(
+    const std::string& spec) {
+  size_t first = spec.find(':');
+  size_t second = first == std::string::npos ? first : spec.find(':', first + 1);
+  if (second == std::string::npos) {
+    return Status::InvalidArgument("expected name:weight:text, got " + spec);
+  }
+  std::string name = spec.substr(0, first);
+  double weight = std::strtod(spec.substr(first + 1, second - first - 1).c_str(),
+                              nullptr);
+  return std::tuple<std::string, double, std::string>{
+      name, weight, spec.substr(second + 1)};
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: legodb --schema FILE --stats FILE --query NAME:W:XQUERY...\n"
+      "              [--update NAME:W:path/to/element]... [--start so|si]\n"
+      "              [--beam N] [--threshold F] [--explain]\n"
+      "       legodb --demo imdb|auction [--explain]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::MappingEngine engine;
+  core::SearchOptions options = core::GreedySoOptions();
+  bool explain = false;
+  bool have_schema = false;
+  std::string demo;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    Status st;
+    if (arg == "--demo") {
+      const char* v = next();
+      if (!v) return Usage();
+      demo = v;
+    } else if (arg == "--schema") {
+      const char* v = next();
+      if (!v) return Usage();
+      auto text = ReadFile(v);
+      st = text.ok() ? engine.LoadSchemaText(text.value()) : text.status();
+      have_schema = true;
+    } else if (arg == "--stats") {
+      const char* v = next();
+      if (!v) return Usage();
+      auto text = ReadFile(v);
+      st = text.ok() ? engine.LoadStatsText(text.value()) : text.status();
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (!v) return Usage();
+      auto spec = ParseSpec(v);
+      if (!spec.ok()) {
+        st = spec.status();
+      } else {
+        auto [name, weight, text] = spec.value();
+        st = engine.AddQuery(name, text, weight);
+      }
+    } else if (arg == "--update") {
+      const char* v = next();
+      if (!v) return Usage();
+      auto spec = ParseSpec(v);
+      if (!spec.ok()) {
+        st = spec.status();
+      } else {
+        auto [name, weight, path] = spec.value();
+        core::Workload w = engine.workload();
+        w.AddUpdate(name, core::UpdateOp::Kind::kInsert, path, weight);
+        engine.SetWorkload(std::move(w));
+      }
+    } else if (arg == "--start") {
+      const char* v = next();
+      if (!v) return Usage();
+      options = std::strcmp(v, "si") == 0 ? core::GreedySiOptions()
+                                          : core::GreedySoOptions();
+    } else if (arg == "--beam") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.beam_width = std::atoi(v);
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.min_relative_improvement = std::strtod(v, nullptr);
+    } else if (arg == "--explain") {
+      explain = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (demo == "imdb") {
+    if (!engine.LoadSchemaText(imdb::SchemaText()).ok() ||
+        !engine.LoadStatsText(imdb::StatsText()).ok()) {
+      return 1;
+    }
+    for (const char* q : {"Q1", "Q3", "Q8", "Q16"}) {
+      (void)engine.AddQuery(q, imdb::QueryText(q), 0.25);
+    }
+    have_schema = true;
+  } else if (demo == "auction") {
+    auto schema = auction::Schema();
+    auto workload = auction::MakeWorkload("bidding");
+    if (!schema.ok() || !workload.ok()) return 1;
+    auction::AuctionScale scale;
+    xml::Document doc = auction::Generate(scale);
+    xs::StatsCollector collector;
+    collector.AddDocument(doc);
+    engine.SetSchema(std::move(schema).value());
+    engine.SetStats(collector.Finish());
+    engine.SetWorkload(std::move(workload).value());
+    have_schema = true;
+  } else if (!demo.empty()) {
+    std::fprintf(stderr, "unknown demo: %s\n", demo.c_str());
+    return Usage();
+  }
+  if (!have_schema || engine.workload().queries.empty()) return Usage();
+
+  auto result = engine.FindBestConfiguration(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== search trace (%lld optimizer calls, %lld cache hits) ===\n",
+              static_cast<long long>(result->search.stats.cost_evaluations),
+              static_cast<long long>(result->search.stats.cache_hits));
+  for (const auto& step : result->search.trace) {
+    std::printf("  %2d  %14.1f  %s\n", step.iteration, step.cost,
+                step.applied.c_str());
+  }
+  std::printf("\n=== physical XML schema ===\n%s\n",
+              result->search.best_schema.ToString().c_str());
+  std::printf("=== relational configuration ===\n%s\n",
+              result->mapping.catalog().ToDdl().c_str());
+
+  if (explain) {
+    opt::Optimizer optimizer(result->mapping.catalog(),
+                             *engine.mutable_cost_params());
+    for (const auto& wq : engine.workload().queries) {
+      auto rq = xlat::TranslateQuery(wq.query, result->mapping);
+      if (!rq.ok()) continue;
+      std::printf("=== %s ===\n%s\n", wq.name.c_str(), rq->ToSql().c_str());
+      auto planned = optimizer.PlanQuery(rq.value());
+      if (planned.ok()) {
+        for (size_t i = 0; i < planned->blocks.size(); ++i) {
+          std::printf("%s", planned->blocks[i]
+                                .plan->ToString(rq->blocks[i])
+                                .c_str());
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
