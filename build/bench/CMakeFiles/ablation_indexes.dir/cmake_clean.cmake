@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_indexes.dir/ablation_indexes.cc.o"
+  "CMakeFiles/ablation_indexes.dir/ablation_indexes.cc.o.d"
+  "ablation_indexes"
+  "ablation_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_updates.dir/ablation_updates.cc.o"
+  "CMakeFiles/ablation_updates.dir/ablation_updates.cc.o.d"
+  "ablation_updates"
+  "ablation_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

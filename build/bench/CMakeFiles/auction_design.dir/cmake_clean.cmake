@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_design.dir/auction_design.cc.o"
+  "CMakeFiles/auction_design.dir/auction_design.cc.o.d"
+  "auction_design"
+  "auction_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_storage_maps.dir/fig06_storage_maps.cc.o"
+  "CMakeFiles/fig06_storage_maps.dir/fig06_storage_maps.cc.o.d"
+  "fig06_storage_maps"
+  "fig06_storage_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_storage_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

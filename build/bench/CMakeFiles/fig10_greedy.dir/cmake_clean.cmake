@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_greedy.dir/fig10_greedy.cc.o"
+  "CMakeFiles/fig10_greedy.dir/fig10_greedy.cc.o.d"
+  "fig10_greedy"
+  "fig10_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

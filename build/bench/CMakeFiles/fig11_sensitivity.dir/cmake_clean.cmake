@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sensitivity.dir/fig11_sensitivity.cc.o"
+  "CMakeFiles/fig11_sensitivity.dir/fig11_sensitivity.cc.o.d"
+  "fig11_sensitivity"
+  "fig11_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

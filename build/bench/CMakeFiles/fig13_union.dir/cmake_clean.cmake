@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_union.dir/fig13_union.cc.o"
+  "CMakeFiles/fig13_union.dir/fig13_union.cc.o.d"
+  "fig13_union"
+  "fig13_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_repetition.dir/fig14_repetition.cc.o"
+  "CMakeFiles/fig14_repetition.dir/fig14_repetition.cc.o.d"
+  "fig14_repetition"
+  "fig14_repetition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wildcard.dir/table2_wildcard.cc.o"
+  "CMakeFiles/table2_wildcard.dir/table2_wildcard.cc.o.d"
+  "table2_wildcard"
+  "table2_wildcard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wildcard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_catalog_publishing.dir/movie_catalog_publishing.cpp.o"
+  "CMakeFiles/movie_catalog_publishing.dir/movie_catalog_publishing.cpp.o.d"
+  "movie_catalog_publishing"
+  "movie_catalog_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_catalog_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_explorer.dir/schema_explorer.cpp.o"
+  "CMakeFiles/schema_explorer.dir/schema_explorer.cpp.o.d"
+  "schema_explorer"
+  "schema_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

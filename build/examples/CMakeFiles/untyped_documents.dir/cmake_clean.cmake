@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/untyped_documents.dir/untyped_documents.cpp.o"
+  "CMakeFiles/untyped_documents.dir/untyped_documents.cpp.o.d"
+  "untyped_documents"
+  "untyped_documents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/untyped_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_lookup_service.dir/web_lookup_service.cpp.o"
+  "CMakeFiles/web_lookup_service.dir/web_lookup_service.cpp.o.d"
+  "web_lookup_service"
+  "web_lookup_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_lookup_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

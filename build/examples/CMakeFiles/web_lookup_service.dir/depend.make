@@ -1,0 +1,2 @@
+# Empty dependencies file for web_lookup_service.
+# This may be replaced when dependencies are built.

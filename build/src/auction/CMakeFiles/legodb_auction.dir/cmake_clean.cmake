@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_auction.dir/auction.cc.o"
+  "CMakeFiles/legodb_auction.dir/auction.cc.o.d"
+  "liblegodb_auction.a"
+  "liblegodb_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_common.dir/rng.cc.o"
+  "CMakeFiles/legodb_common.dir/rng.cc.o.d"
+  "CMakeFiles/legodb_common.dir/status.cc.o"
+  "CMakeFiles/legodb_common.dir/status.cc.o.d"
+  "CMakeFiles/legodb_common.dir/str_util.cc.o"
+  "CMakeFiles/legodb_common.dir/str_util.cc.o.d"
+  "CMakeFiles/legodb_common.dir/table_printer.cc.o"
+  "CMakeFiles/legodb_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/legodb_common.dir/value.cc.o"
+  "CMakeFiles/legodb_common.dir/value.cc.o.d"
+  "liblegodb_common.a"
+  "liblegodb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_core.dir/cost.cc.o"
+  "CMakeFiles/legodb_core.dir/cost.cc.o.d"
+  "CMakeFiles/legodb_core.dir/legodb.cc.o"
+  "CMakeFiles/legodb_core.dir/legodb.cc.o.d"
+  "CMakeFiles/legodb_core.dir/search.cc.o"
+  "CMakeFiles/legodb_core.dir/search.cc.o.d"
+  "CMakeFiles/legodb_core.dir/transforms.cc.o"
+  "CMakeFiles/legodb_core.dir/transforms.cc.o.d"
+  "CMakeFiles/legodb_core.dir/workload.cc.o"
+  "CMakeFiles/legodb_core.dir/workload.cc.o.d"
+  "liblegodb_core.a"
+  "liblegodb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

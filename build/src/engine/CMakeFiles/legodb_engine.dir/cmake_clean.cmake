@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_engine.dir/executor.cc.o"
+  "CMakeFiles/legodb_engine.dir/executor.cc.o.d"
+  "liblegodb_engine.a"
+  "liblegodb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

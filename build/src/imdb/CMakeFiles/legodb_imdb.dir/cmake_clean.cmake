@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_imdb.dir/imdb.cc.o"
+  "CMakeFiles/legodb_imdb.dir/imdb.cc.o.d"
+  "liblegodb_imdb.a"
+  "liblegodb_imdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_imdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

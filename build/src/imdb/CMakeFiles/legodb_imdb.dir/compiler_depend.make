@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for legodb_imdb.
+# This may be replaced when dependencies are built.

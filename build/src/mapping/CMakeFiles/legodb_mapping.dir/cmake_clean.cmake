@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_mapping.dir/mapping.cc.o"
+  "CMakeFiles/legodb_mapping.dir/mapping.cc.o.d"
+  "liblegodb_mapping.a"
+  "liblegodb_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

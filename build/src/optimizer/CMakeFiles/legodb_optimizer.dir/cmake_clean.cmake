@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/legodb_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/legodb_optimizer.dir/plan.cc.o"
+  "CMakeFiles/legodb_optimizer.dir/plan.cc.o.d"
+  "liblegodb_optimizer.a"
+  "liblegodb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

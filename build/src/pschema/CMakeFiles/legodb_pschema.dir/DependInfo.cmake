@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pschema/pschema.cc" "src/pschema/CMakeFiles/legodb_pschema.dir/pschema.cc.o" "gcc" "src/pschema/CMakeFiles/legodb_pschema.dir/pschema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xschema/CMakeFiles/legodb_xschema.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/legodb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/legodb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_pschema.dir/pschema.cc.o"
+  "CMakeFiles/legodb_pschema.dir/pschema.cc.o.d"
+  "liblegodb_pschema.a"
+  "liblegodb_pschema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_pschema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for legodb_pschema.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_relational.dir/catalog.cc.o"
+  "CMakeFiles/legodb_relational.dir/catalog.cc.o.d"
+  "liblegodb_relational.a"
+  "liblegodb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

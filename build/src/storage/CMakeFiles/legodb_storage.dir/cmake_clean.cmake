@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_storage.dir/database.cc.o"
+  "CMakeFiles/legodb_storage.dir/database.cc.o.d"
+  "CMakeFiles/legodb_storage.dir/reconstruct.cc.o"
+  "CMakeFiles/legodb_storage.dir/reconstruct.cc.o.d"
+  "CMakeFiles/legodb_storage.dir/shredder.cc.o"
+  "CMakeFiles/legodb_storage.dir/shredder.cc.o.d"
+  "liblegodb_storage.a"
+  "liblegodb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

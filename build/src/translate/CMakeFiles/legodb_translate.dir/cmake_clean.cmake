@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_translate.dir/translate.cc.o"
+  "CMakeFiles/legodb_translate.dir/translate.cc.o.d"
+  "liblegodb_translate.a"
+  "liblegodb_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

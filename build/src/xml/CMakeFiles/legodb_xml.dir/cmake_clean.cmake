@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_xml.dir/dom.cc.o"
+  "CMakeFiles/legodb_xml.dir/dom.cc.o.d"
+  "CMakeFiles/legodb_xml.dir/parser.cc.o"
+  "CMakeFiles/legodb_xml.dir/parser.cc.o.d"
+  "CMakeFiles/legodb_xml.dir/writer.cc.o"
+  "CMakeFiles/legodb_xml.dir/writer.cc.o.d"
+  "liblegodb_xml.a"
+  "liblegodb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xquery/ast.cc" "src/xquery/CMakeFiles/legodb_xquery.dir/ast.cc.o" "gcc" "src/xquery/CMakeFiles/legodb_xquery.dir/ast.cc.o.d"
+  "/root/repo/src/xquery/evaluator.cc" "src/xquery/CMakeFiles/legodb_xquery.dir/evaluator.cc.o" "gcc" "src/xquery/CMakeFiles/legodb_xquery.dir/evaluator.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/xquery/CMakeFiles/legodb_xquery.dir/parser.cc.o" "gcc" "src/xquery/CMakeFiles/legodb_xquery.dir/parser.cc.o.d"
+  "/root/repo/src/xquery/result.cc" "src/xquery/CMakeFiles/legodb_xquery.dir/result.cc.o" "gcc" "src/xquery/CMakeFiles/legodb_xquery.dir/result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/legodb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/legodb_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_xquery.dir/ast.cc.o"
+  "CMakeFiles/legodb_xquery.dir/ast.cc.o.d"
+  "CMakeFiles/legodb_xquery.dir/evaluator.cc.o"
+  "CMakeFiles/legodb_xquery.dir/evaluator.cc.o.d"
+  "CMakeFiles/legodb_xquery.dir/parser.cc.o"
+  "CMakeFiles/legodb_xquery.dir/parser.cc.o.d"
+  "CMakeFiles/legodb_xquery.dir/result.cc.o"
+  "CMakeFiles/legodb_xquery.dir/result.cc.o.d"
+  "liblegodb_xquery.a"
+  "liblegodb_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xschema/annotate.cc" "src/xschema/CMakeFiles/legodb_xschema.dir/annotate.cc.o" "gcc" "src/xschema/CMakeFiles/legodb_xschema.dir/annotate.cc.o.d"
+  "/root/repo/src/xschema/schema.cc" "src/xschema/CMakeFiles/legodb_xschema.dir/schema.cc.o" "gcc" "src/xschema/CMakeFiles/legodb_xschema.dir/schema.cc.o.d"
+  "/root/repo/src/xschema/schema_parser.cc" "src/xschema/CMakeFiles/legodb_xschema.dir/schema_parser.cc.o" "gcc" "src/xschema/CMakeFiles/legodb_xschema.dir/schema_parser.cc.o.d"
+  "/root/repo/src/xschema/stats.cc" "src/xschema/CMakeFiles/legodb_xschema.dir/stats.cc.o" "gcc" "src/xschema/CMakeFiles/legodb_xschema.dir/stats.cc.o.d"
+  "/root/repo/src/xschema/stats_collector.cc" "src/xschema/CMakeFiles/legodb_xschema.dir/stats_collector.cc.o" "gcc" "src/xschema/CMakeFiles/legodb_xschema.dir/stats_collector.cc.o.d"
+  "/root/repo/src/xschema/type.cc" "src/xschema/CMakeFiles/legodb_xschema.dir/type.cc.o" "gcc" "src/xschema/CMakeFiles/legodb_xschema.dir/type.cc.o.d"
+  "/root/repo/src/xschema/validator.cc" "src/xschema/CMakeFiles/legodb_xschema.dir/validator.cc.o" "gcc" "src/xschema/CMakeFiles/legodb_xschema.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/legodb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/legodb_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb_xschema.dir/annotate.cc.o"
+  "CMakeFiles/legodb_xschema.dir/annotate.cc.o.d"
+  "CMakeFiles/legodb_xschema.dir/schema.cc.o"
+  "CMakeFiles/legodb_xschema.dir/schema.cc.o.d"
+  "CMakeFiles/legodb_xschema.dir/schema_parser.cc.o"
+  "CMakeFiles/legodb_xschema.dir/schema_parser.cc.o.d"
+  "CMakeFiles/legodb_xschema.dir/stats.cc.o"
+  "CMakeFiles/legodb_xschema.dir/stats.cc.o.d"
+  "CMakeFiles/legodb_xschema.dir/stats_collector.cc.o"
+  "CMakeFiles/legodb_xschema.dir/stats_collector.cc.o.d"
+  "CMakeFiles/legodb_xschema.dir/type.cc.o"
+  "CMakeFiles/legodb_xschema.dir/type.cc.o.d"
+  "CMakeFiles/legodb_xschema.dir/validator.cc.o"
+  "CMakeFiles/legodb_xschema.dir/validator.cc.o.d"
+  "liblegodb_xschema.a"
+  "liblegodb_xschema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb_xschema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

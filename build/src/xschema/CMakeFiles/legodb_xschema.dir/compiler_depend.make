@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for legodb_xschema.
+# This may be replaced when dependencies are built.

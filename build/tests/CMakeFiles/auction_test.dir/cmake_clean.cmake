@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_test.dir/auction_test.cc.o"
+  "CMakeFiles/auction_test.dir/auction_test.cc.o.d"
+  "auction_test"
+  "auction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

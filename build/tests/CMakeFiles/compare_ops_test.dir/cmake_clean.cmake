@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_ops_test.dir/compare_ops_test.cc.o"
+  "CMakeFiles/compare_ops_test.dir/compare_ops_test.cc.o.d"
+  "compare_ops_test"
+  "compare_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdb_test.dir/imdb_test.cc.o"
+  "CMakeFiles/imdb_test.dir/imdb_test.cc.o.d"
+  "imdb_test"
+  "imdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pschema_test.cc" "tests/CMakeFiles/pschema_test.dir/pschema_test.cc.o" "gcc" "tests/CMakeFiles/pschema_test.dir/pschema_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/legodb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/imdb/CMakeFiles/legodb_imdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/auction/CMakeFiles/legodb_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/legodb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/legodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/legodb_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/legodb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/legodb_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/pschema/CMakeFiles/legodb_pschema.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/legodb_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/xschema/CMakeFiles/legodb_xschema.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/legodb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/legodb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/legodb_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

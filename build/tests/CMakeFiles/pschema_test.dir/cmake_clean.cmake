@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pschema_test.dir/pschema_test.cc.o"
+  "CMakeFiles/pschema_test.dir/pschema_test.cc.o.d"
+  "pschema_test"
+  "pschema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pschema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xschema_test.dir/xschema_test.cc.o"
+  "CMakeFiles/xschema_test.dir/xschema_test.cc.o.d"
+  "xschema_test"
+  "xschema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xschema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

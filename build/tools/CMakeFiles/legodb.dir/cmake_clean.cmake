@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legodb.dir/legodb_cli.cc.o"
+  "CMakeFiles/legodb.dir/legodb_cli.cc.o.d"
+  "legodb"
+  "legodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
