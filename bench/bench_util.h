@@ -7,11 +7,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "core/cost.h"
 #include "core/transforms.h"
 #include "imdb/imdb.h"
+#include "obs/obs.h"
 #include "pschema/pschema.h"
 #include "xschema/annotate.h"
 #include "xschema/schema_parser.h"
@@ -33,6 +35,33 @@ T Unwrap(StatusOr<T> v, const char* what) {
   }
   return std::move(v).value();
 }
+
+// Installs an obs::Registry for the harness's lifetime, so spans / counters
+// / histograms recorded anywhere in the pipeline (search iterations,
+// optimizer planning time, translation time) accumulate here. WriteJson
+// dumps the obs::Report in the same format `legodb --metrics-out` emits —
+// BENCH_*.json trajectories get phase-level timings, not just totals.
+class ObsSession {
+ public:
+  ObsSession() : scope_(&registry_) {}
+
+  obs::Registry* registry() { return &registry_; }
+  obs::Report Snapshot() const { return registry_.Snapshot(); }
+
+  void WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << Snapshot().ToJson();
+    std::printf("metrics report written to %s\n", path.c_str());
+  }
+
+ private:
+  obs::Registry registry_;
+  obs::ScopedRegistry scope_;
+};
 
 // Raw IMDB schema (un-annotated).
 inline xs::Schema RawImdb() {

@@ -1,58 +1,35 @@
-// Developer utility: dumps the relational configurations and translated SQL
-// for the three Figure-4 storage maps. Not a paper artifact, but useful for
-// inspecting what the mapping engine produces.
+// Developer utility: runs the mapping engine on the built-in IMDB workloads
+// and dumps the instrumented greedy-search trajectory — the per-iteration
+// explain table (cost, candidates, elapsed ms, chosen transformation), the
+// span tree, and the metrics registry — plus the winning configuration's
+// DDL. Not a paper artifact, but the quickest way to see where search time
+// and cost go.
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "optimizer/optimizer.h"
-#include "translate/translate.h"
-#include "xquery/parser.h"
+#include "core/explain.h"
+#include "core/legodb.h"
+#include "imdb/imdb.h"
 
 using namespace legodb;
 
 int main() {
-  const char* extra_stats = R"(
-(["imdb";"show";"reviews";"nyt"], STcnt(2812));
-(["imdb";"show";"reviews";"TILDE"], STcnt(8438));
-)";
-  xs::Schema raw = bench::RawImdb();
-  xs::StatsSet stats = bench::ImdbStats(extra_stats);
+  for (const char* wname : {"lookup", "publish"}) {
+    core::MappingEngine engine;
+    bench::Check(engine.LoadSchemaText(imdb::SchemaText()), "load schema");
+    bench::Check(engine.LoadStatsText(imdb::StatsText()), "load stats");
+    engine.SetWorkload(
+        bench::Unwrap(imdb::MakeWorkload(wname), "make workload"));
 
-  struct Config {
-    const char* name;
-    xs::Schema schema;
-  };
-  Config configs[] = {
-      {"MAP1 all-inlined", bench::AllInlinedConfig(raw, stats)},
-      {"MAP2 wildcard", bench::WildcardConfig(raw, stats)},
-      {"MAP3 union-distributed",
-       bench::UnionDistributedConfig(raw, stats)},
-  };
-  for (const auto& c : configs) {
-    std::printf("==== %s ====\n%s\n", c.name, c.schema.ToString().c_str());
-    auto mapping = bench::Unwrap(map::MapSchema(c.schema), "map");
-    std::printf("%s\n", mapping.catalog().ToDdl().c_str());
-    for (const char* qn : {"S2Q1", "S2Q3"}) {
-      auto q = bench::Unwrap(xq::ParseQuery(imdb::QueryText(qn)), "parse");
-      auto rq = xlat::TranslateQuery(q, mapping);
-      if (!rq.ok()) {
-        std::printf("-- %s: %s\n", qn, rq.status().ToString().c_str());
-        continue;
-      }
-      std::printf("-- %s (%zu blocks):\n%s\n", qn, rq->blocks.size(),
-                  rq->ToSql().c_str());
-      opt::Optimizer o(mapping.catalog());
-      auto planned = o.PlanQuery(rq.value());
-      if (planned.ok()) {
-        std::printf("-- cost %.1f\n", planned->total_cost);
-        for (size_t i = 0; i < planned->blocks.size(); ++i) {
-          std::printf("%s",
-                      planned->blocks[i]
-                          .plan->ToString(rq->blocks[i])
-                          .c_str());
-        }
-      }
-    }
+    auto result = bench::Unwrap(
+        engine.FindBestConfiguration(core::GreedySoOptions()), "search");
+    std::printf("==== greedy-so on the IMDB %s workload ====\n", wname);
+    std::printf("%s\n", core::SearchSummary(result.search).c_str());
+    std::printf("%s\n", core::ExplainSearchTable(result.search).c_str());
+    std::printf("-- trace --\n%s\n", result.report.SpanTable().c_str());
+    std::printf("-- metrics --\n%s\n", result.report.MetricsTable().c_str());
+    std::printf("-- winning configuration --\n%s\n",
+                result.mapping.catalog().ToDdl().c_str());
   }
   return 0;
 }

@@ -6,6 +6,9 @@
 // Paper reference: greedy-so starts much higher (many joins) and converges
 // in more iterations for publish than for lookup; greedy-si converges
 // faster for publish; both variants end at similar costs.
+// With an argument, the obs metrics of the whole run (per-iteration search
+// spans, optimizer/translate timings, cache counters) are written there as
+// JSON, e.g. `fig10_greedy BENCH_fig10_greedy.json`.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -14,7 +17,8 @@
 
 using namespace legodb;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs_session;
   std::printf(
       "Figure 10: cost at each greedy iteration (normalized by the final\n"
       "cost of greedy-so on that workload), for lookup and publish "
@@ -55,5 +59,6 @@ int main() {
         so.best_cost, ps::Normalize(so.best_schema).size(), si.best_cost,
         ps::Normalize(si.best_schema).size());
   }
+  if (argc > 1) obs_session.WriteJson(argv[1]);
   return 0;
 }

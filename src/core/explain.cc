@@ -1,0 +1,47 @@
+#include "core/explain.h"
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+
+namespace legodb::core {
+
+std::string ExplainSearchTable(const SearchResult& result) {
+  TablePrinter table(
+      {"iter", "cost", "candidates", "elapsed_ms", "transformation"});
+  for (const auto& step : result.trace) {
+    table.AddRow({std::to_string(step.iteration), FormatDouble(step.cost, 1),
+                  std::to_string(step.candidates),
+                  FormatDouble(step.elapsed_ms, 2),
+                  step.applied.empty() ? "(initial configuration)"
+                                       : step.applied});
+  }
+  return table.ToString();
+}
+
+double CacheHitRate(const SearchStats& stats) {
+  int64_t lookups = stats.cache_hits + stats.cost_evaluations;
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(stats.cache_hits) /
+                   static_cast<double>(lookups);
+}
+
+std::string SearchSummary(const SearchResult& result) {
+  double initial = result.trace.empty() ? 0 : result.trace.front().cost;
+  double reduction =
+      initial == 0 ? 0 : 100.0 * (1.0 - result.best_cost / initial);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%zu iterations, cost %.1f -> %.1f (%.1f%% reduction), "
+                "%lld optimizer calls, %lld cache hits (%.1f%% hit rate)",
+                result.trace.empty() ? 0 : result.trace.size() - 1, initial,
+                result.best_cost,
+                reduction,
+                static_cast<long long>(result.stats.cost_evaluations),
+                static_cast<long long>(result.stats.cache_hits),
+                100.0 * CacheHitRate(result.stats));
+  return buf;
+}
+
+}  // namespace legodb::core

@@ -1,0 +1,25 @@
+#ifndef LEGODB_CORE_EXPLAIN_H_
+#define LEGODB_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/search.h"
+#include "obs/obs.h"
+
+namespace legodb::core {
+
+// Renders the greedy-search trajectory as an aligned table — one row per
+// iteration (iteration, cost, candidates evaluated, elapsed ms, chosen
+// transformation), mirroring the paper's Figure-10 narrative.
+std::string ExplainSearchTable(const SearchResult& result);
+
+// One-paragraph summary of a search run: iterations, cost improvement,
+// optimizer invocations, and the cost-cache hit rate.
+std::string SearchSummary(const SearchResult& result);
+
+// Hit fraction of the cost-estimate cache, in [0, 1] (0 when nothing ran).
+double CacheHitRate(const SearchStats& stats);
+
+}  // namespace legodb::core
+
+#endif  // LEGODB_CORE_EXPLAIN_H_

@@ -30,13 +30,29 @@ StatusOr<xs::Schema> MappingEngine::AnnotatedSchema() const {
 
 StatusOr<MappingEngine::Result> MappingEngine::FindBestConfiguration(
     const SearchOptions& options) const {
-  LEGODB_ASSIGN_OR_RETURN(xs::Schema annotated, AnnotatedSchema());
-  LEGODB_ASSIGN_OR_RETURN(
-      SearchResult search,
-      GreedySearch(annotated, workload_, params_, options));
-  LEGODB_ASSIGN_OR_RETURN(map::Mapping mapping,
-                          map::MapSchema(search.best_schema));
-  return Result{std::move(search), std::move(mapping)};
+  // A private registry for this run; the ambient registry (if any) is
+  // restored on exit and the snapshot travels with the result.
+  obs::Registry registry;
+  StatusOr<Result> result = [&]() -> StatusOr<Result> {
+    obs::ScopedRegistry scoped(&registry);
+    obs::Span total("find_best_configuration");
+    xs::Schema annotated;
+    {
+      obs::Span span("annotate");
+      LEGODB_ASSIGN_OR_RETURN(annotated, AnnotatedSchema());
+    }
+    LEGODB_ASSIGN_OR_RETURN(
+        SearchResult search,
+        GreedySearch(annotated, workload_, params_, options));
+    map::Mapping mapping;
+    {
+      obs::Span span("map_schema");
+      LEGODB_ASSIGN_OR_RETURN(mapping, map::MapSchema(search.best_schema));
+    }
+    return Result{std::move(search), std::move(mapping), obs::Report{}};
+  }();
+  if (result.ok()) result->report = registry.Snapshot();
+  return result;
 }
 
 StatusOr<SchemaCost> MappingEngine::CostConfiguration(

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/search.h"
 #include "mapping/mapping.h"
+#include "obs/obs.h"
 #include "xschema/stats.h"
 
 namespace legodb::core {
@@ -42,9 +43,14 @@ class MappingEngine {
   struct Result {
     SearchResult search;
     map::Mapping mapping;  // relational configuration of the best schema
+    // Trace + metrics of the run: phase spans (annotate/search/map_schema),
+    // search/optimizer/translate counters and timing histograms.
+    obs::Report report;
   };
 
-  // Runs the greedy search and maps the winner to relations.
+  // Runs the greedy search and maps the winner to relations. Instruments
+  // the whole run against a private obs::Registry whose snapshot is
+  // returned in Result::report.
   StatusOr<Result> FindBestConfiguration(
       const SearchOptions& options = GreedySoOptions()) const;
 

@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "obs/obs.h"
 #include "optimizer/optimizer.h"
 #include "translate/translate.h"
 
@@ -55,6 +56,7 @@ class CachedCoster {
         auto it = caches_[i].find(key);
         if (it != caches_[i].end()) {
           ++stats->cache_hits;
+          obs::Count("search.cache_hits");
           total += wq.weight * it->second;
           continue;
         }
@@ -62,6 +64,7 @@ class CachedCoster {
       LEGODB_ASSIGN_OR_RETURN(opt::PlannedQuery planned,
                               optimizer.PlanQuery(rq));
       ++stats->cost_evaluations;
+      obs::Count("search.cost_evaluations");
       if (enabled_) caches_[i][key] = planned.total_cost;
       total += wq.weight * planned.total_cost;
     }
@@ -113,6 +116,8 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
                                     const Workload& workload,
                                     const opt::CostParams& params,
                                     const SearchOptions& options) {
+  obs::Span search_span("search");
+  int64_t phase_start = obs::NowNanos();
   xs::Schema initial;
   switch (options.start) {
     case SearchOptions::Start::kAllInlined:
@@ -128,8 +133,12 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
 
   SearchResult result;
   CachedCoster coster(workload, params, options.cache_query_costs);
-  LEGODB_ASSIGN_OR_RETURN(double initial_cost,
-                          coster.Cost(initial, &result.stats));
+  double initial_cost;
+  {
+    obs::Span initial_span("search.initial_cost");
+    LEGODB_ASSIGN_OR_RETURN(initial_cost,
+                            coster.Cost(initial, &result.stats));
+  }
 
   int beam_width = std::max(1, options.beam_width);
   std::vector<BeamEntry> beam = {BeamEntry{initial, initial_cost}};
@@ -138,9 +147,14 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
   // Configurations already evaluated anywhere in the run.
   std::set<std::string> seen = {best_schema.ToString()};
 
-  result.trace.push_back(SearchResult::IterationLog{0, best_cost, "", 0});
+  result.trace.push_back(SearchResult::IterationLog{
+      0, best_cost, "", 0,
+      static_cast<double>(obs::NowNanos() - phase_start) / 1e6});
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    obs::Span iter_span("search.iteration");
+    int64_t iter_start = obs::NowNanos();
+    obs::Count("search.iterations");
     std::vector<BeamEntry> expanded;
     std::string best_move;
     double iter_best = std::numeric_limits<double>::infinity();
@@ -162,6 +176,7 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
         expanded.push_back(BeamEntry{std::move(next).value(), *next_cost});
       }
     }
+    obs::Count("search.candidates_evaluated", evaluated);
     double threshold = best_cost * (1.0 - options.min_relative_improvement);
     if (evaluated == 0 || iter_best >= threshold) break;
 
@@ -175,8 +190,9 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
     beam = std::move(expanded);
     best_cost = beam[0].cost;
     best_schema = beam[0].schema;
-    result.trace.push_back(
-        SearchResult::IterationLog{iter, best_cost, best_move, evaluated});
+    result.trace.push_back(SearchResult::IterationLog{
+        iter, best_cost, best_move, evaluated,
+        static_cast<double>(obs::NowNanos() - iter_start) / 1e6});
   }
 
   result.best_schema = std::move(best_schema);

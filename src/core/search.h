@@ -61,6 +61,7 @@ struct SearchResult {
     double cost = 0;         // cost after this iteration
     std::string applied;     // transformation taken ("" for iteration 0)
     int candidates = 0;      // number of candidates evaluated
+    double elapsed_ms = 0;   // wall time spent on this iteration
   };
   std::vector<IterationLog> trace;
 };

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "xquery/evaluator.h"
 
 namespace legodb::engine {
@@ -23,6 +24,28 @@ namespace {
 // One intermediate tuple: a row pointer per base relation (nullptr when the
 // relation is not yet joined or missed an outer join).
 using Binding = std::vector<const Row*>;
+
+// Static metric names per operator (rows produced, inclusive wall time).
+struct OpMetricNames {
+  const char* rows;
+  const char* ms;
+};
+
+OpMetricNames MetricNames(opt::PhysicalPlan::Kind kind) {
+  switch (kind) {
+    case opt::PhysicalPlan::Kind::kSeqScan:
+      return {"exec.seq_scan.rows", "exec.seq_scan.ms"};
+    case opt::PhysicalPlan::Kind::kIndexLookup:
+      return {"exec.index_lookup.rows", "exec.index_lookup.ms"};
+    case opt::PhysicalPlan::Kind::kHashJoin:
+      return {"exec.hash_join.rows", "exec.hash_join.ms"};
+    case opt::PhysicalPlan::Kind::kIndexNLJoin:
+      return {"exec.index_nl_join.rows", "exec.index_nl_join.ms"};
+    case opt::PhysicalPlan::Kind::kProject:
+      return {"exec.project.rows", "exec.project.ms"};
+  }
+  return {"exec.unknown.rows", "exec.unknown.ms"};
+}
 
 }  // namespace
 
@@ -64,6 +87,7 @@ class BlockExecutor {
       e_->stats_.rows_out += 1;
       result.rows.push_back(std::move(row));
     }
+    obs::Count("exec.project.rows", static_cast<int64_t>(result.rows.size()));
     return result;
   }
 
@@ -125,8 +149,20 @@ class BlockExecutor {
 
   double RowWidth(int rel) const { return tables_[rel]->meta().RowWidth(); }
 
+  // Dispatches to ExecNode, recording rows produced and inclusive wall time
+  // per operator kind into the ambient obs registry (no-ops without one).
   StatusOr<std::vector<Binding>> Exec(const opt::PhysicalPlanPtr& p) {
     if (!p) return Status::Internal("null plan node");
+    if (obs::Current() == nullptr) return ExecNode(p);
+    OpMetricNames names = MetricNames(p->kind);
+    int64_t start = obs::NowNanos();
+    StatusOr<std::vector<Binding>> out = ExecNode(p);
+    obs::Observe(names.ms, static_cast<double>(obs::NowNanos() - start) / 1e6);
+    if (out.ok()) obs::Count(names.rows, static_cast<int64_t>(out->size()));
+    return out;
+  }
+
+  StatusOr<std::vector<Binding>> ExecNode(const opt::PhysicalPlanPtr& p) {
     switch (p->kind) {
       case opt::PhysicalPlan::Kind::kSeqScan: {
         const StoredTable& t = *tables_[p->rel];
@@ -269,6 +305,8 @@ class BlockExecutor {
 
 StatusOr<xq::ResultSet> Executor::ExecuteBlock(
     const opt::QueryBlock& block, const opt::PhysicalPlanPtr& plan) {
+  obs::ScopedTimer timer("exec.block_ms");
+  obs::Count("exec.blocks");
   return BlockExecutor(this, block).Run(plan);
 }
 

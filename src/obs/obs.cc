@@ -1,0 +1,512 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace legodb::obs {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- Histogram -----------------------------------------------------------
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s_.count == 0) {
+    s_.min = s_.max = value;
+  } else {
+    s_.min = std::min(s_.min, value);
+    s_.max = std::max(s_.max, value);
+  }
+  ++s_.count;
+  s_.sum += value;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return s_;
+}
+
+// ---- Registry ------------------------------------------------------------
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+int Registry::BeginSpan(const char* name, int parent, int depth,
+                        int64_t start_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_spans_;
+    return -1;
+  }
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = start_ns - epoch_ns_;
+  record.parent = parent;
+  record.depth = depth;
+  spans_.push_back(std::move(record));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Registry::EndSpan(int index, int64_t end_ns) {
+  if (index < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord& record = spans_[static_cast<size_t>(index)];
+  record.duration_ns = end_ns - epoch_ns_ - record.start_ns;
+}
+
+Report Registry::Snapshot() const {
+  int64_t now = NowNanos();
+  Report report;
+  std::lock_guard<std::mutex> lock(mu_);
+  report.spans = spans_;
+  for (SpanRecord& s : report.spans) {
+    // Close still-open spans at snapshot time.
+    if (s.duration_ns < 0) s.duration_ns = now - epoch_ns_ - s.start_ns;
+  }
+  for (const auto& [name, counter] : counters_) {
+    report.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Histogram::Snapshot s = hist->snapshot();
+    report.histograms.push_back({name, s.count, s.sum, s.min, s.max});
+  }
+  report.dropped_spans = dropped_spans_;
+  return report;
+}
+
+// ---- ambient registry & spans --------------------------------------------
+
+namespace {
+
+thread_local Registry* tls_registry = nullptr;
+
+struct ActiveSpan {
+  Registry* registry;
+  int index;
+  int depth;
+};
+// The thread's stack of open spans (each entry pushed by a Span ctor).
+thread_local std::vector<ActiveSpan> tls_span_stack;
+
+}  // namespace
+
+Registry* Current() { return tls_registry; }
+
+ScopedRegistry::ScopedRegistry(Registry* registry) : prev_(tls_registry) {
+  tls_registry = registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { tls_registry = prev_; }
+
+Span::Span(const char* name, Registry* registry) : registry_(registry) {
+  if (!registry_) return;
+  int parent = -1;
+  int depth = 0;
+  if (!tls_span_stack.empty() &&
+      tls_span_stack.back().registry == registry_) {
+    parent = tls_span_stack.back().index;
+    depth = tls_span_stack.back().depth + 1;
+  }
+  start_ns_ = NowNanos();
+  index_ = registry_->BeginSpan(name, parent, depth, start_ns_);
+  // Dropped spans (index -1) still push so nesting stays balanced.
+  tls_span_stack.push_back({registry_, index_, depth});
+}
+
+Span::~Span() {
+  if (!registry_) return;
+  registry_->EndSpan(index_, NowNanos());
+  tls_span_stack.pop_back();
+}
+
+// ---- Report: lookups -----------------------------------------------------
+
+int64_t Report::CounterValue(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const Report::HistogramEntry* Report::FindHistogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double Report::SpanTotalMillis(std::string_view name) const {
+  double total_ns = 0;
+  for (const auto& s : spans) {
+    if (s.name == name) total_ns += static_cast<double>(s.duration_ns);
+  }
+  return total_ns / 1e6;
+}
+
+// ---- Report: human tables ------------------------------------------------
+
+std::string Report::SpanTable() const {
+  TablePrinter table({"span", "start_ms", "ms"});
+  for (const auto& s : spans) {
+    std::string name(2 * static_cast<size_t>(s.depth), ' ');
+    name += s.name;
+    table.AddRow({name, FormatDouble(static_cast<double>(s.start_ns) / 1e6, 3),
+                  FormatDouble(static_cast<double>(s.duration_ns) / 1e6, 3)});
+  }
+  if (dropped_spans > 0) {
+    table.AddRow({"(dropped " + std::to_string(dropped_spans) + " spans)",
+                  "", ""});
+  }
+  return table.ToString();
+}
+
+std::string Report::MetricsTable() const {
+  TablePrinter table({"metric", "count", "mean", "min", "max", "sum"});
+  for (const auto& c : counters) {
+    table.AddRow({c.name, std::to_string(c.value), "", "", "", ""});
+  }
+  for (const auto& h : histograms) {
+    double mean = h.count == 0 ? 0 : h.sum / static_cast<double>(h.count);
+    table.AddRow({h.name, std::to_string(h.count), FormatDouble(mean, 3),
+                  FormatDouble(h.min, 3), FormatDouble(h.max, 3),
+                  FormatDouble(h.sum, 3)});
+  }
+  return table.ToString();
+}
+
+// ---- Report: JSON --------------------------------------------------------
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Round-trippable without drowning the file in digits.
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Report::ToJson() const {
+  std::string out = "{\n  \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendJsonString(&out, s.name);
+    out += ", \"start_ns\": " + std::to_string(s.start_ns) +
+           ", \"duration_ns\": " + std::to_string(s.duration_ns) +
+           ", \"parent\": " + std::to_string(s.parent) +
+           ", \"depth\": " + std::to_string(s.depth) + "}";
+  }
+  out += spans.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, counters[i].name);
+    out += ": " + std::to_string(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramEntry& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + JsonDouble(h.sum) +
+           ", \"min\": " + JsonDouble(h.min) +
+           ", \"max\": " + JsonDouble(h.max) + "}";
+  }
+  out += histograms.empty() ? "},\n" : "\n  },\n";
+  out += "  \"dropped_spans\": " + std::to_string(dropped_spans) + "\n}\n";
+  return out;
+}
+
+// ---- JSON parsing (the subset ToJson emits) ------------------------------
+
+namespace {
+
+// Minimal recursive-descent JSON reader. Supports objects, arrays, strings,
+// numbers, true/false/null — enough to round-trip Report::ToJson and to
+// read hand-edited metric files.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<Report> ParseReport() {
+    SkipWs();
+    if (!Consume('{')) return Err("expected '{'");
+    Report report;
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) break;
+      if (!first && !Consume(',')) return Err("expected ','");
+      first = false;
+      SkipWs();
+      LEGODB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      if (key == "spans") {
+        LEGODB_RETURN_IF_ERROR(ParseSpans(&report));
+      } else if (key == "counters") {
+        LEGODB_RETURN_IF_ERROR(ParseCounters(&report));
+      } else if (key == "histograms") {
+        LEGODB_RETURN_IF_ERROR(ParseHistograms(&report));
+      } else if (key == "dropped_spans") {
+        LEGODB_ASSIGN_OR_RETURN(double v, ParseNumber());
+        report.dropped_spans = static_cast<int64_t>(v);
+      } else {
+        return Err("unknown report key '" + key + "'");
+      }
+    }
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing characters");
+    return report;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("obs report JSON: " + msg + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) return Err("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+            int code = std::stoi(text_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            out.push_back(static_cast<char>(code));  // BMP-ASCII subset
+            break;
+          }
+          default:
+            return Err("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  StatusOr<double> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected number");
+    return std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+  }
+
+  StatusOr<int64_t> ParseInt() {
+    LEGODB_ASSIGN_OR_RETURN(double v, ParseNumber());
+    return static_cast<int64_t>(v);
+  }
+
+  Status ParseSpans(Report* report) {
+    if (!Consume('[')) return Err("expected '['");
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (!first && !Consume(',')) return Err("expected ','");
+      first = false;
+      SkipWs();
+      if (!Consume('{')) return Err("expected span object");
+      SpanRecord span;
+      bool first_field = true;
+      while (true) {
+        SkipWs();
+        if (Consume('}')) break;
+        if (!first_field && !Consume(',')) return Err("expected ','");
+        first_field = false;
+        SkipWs();
+        LEGODB_ASSIGN_OR_RETURN(std::string key, ParseString());
+        SkipWs();
+        if (!Consume(':')) return Err("expected ':'");
+        SkipWs();
+        if (key == "name") {
+          LEGODB_ASSIGN_OR_RETURN(span.name, ParseString());
+        } else if (key == "start_ns") {
+          LEGODB_ASSIGN_OR_RETURN(span.start_ns, ParseInt());
+        } else if (key == "duration_ns") {
+          LEGODB_ASSIGN_OR_RETURN(span.duration_ns, ParseInt());
+        } else if (key == "parent") {
+          LEGODB_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+          span.parent = static_cast<int>(v);
+        } else if (key == "depth") {
+          LEGODB_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+          span.depth = static_cast<int>(v);
+        } else {
+          return Err("unknown span key '" + key + "'");
+        }
+      }
+      report->spans.push_back(std::move(span));
+    }
+  }
+
+  Status ParseCounters(Report* report) {
+    if (!Consume('{')) return Err("expected '{'");
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!first && !Consume(',')) return Err("expected ','");
+      first = false;
+      SkipWs();
+      Report::CounterEntry entry;
+      LEGODB_ASSIGN_OR_RETURN(entry.name, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      LEGODB_ASSIGN_OR_RETURN(entry.value, ParseInt());
+      report->counters.push_back(std::move(entry));
+    }
+  }
+
+  Status ParseHistograms(Report* report) {
+    if (!Consume('{')) return Err("expected '{'");
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!first && !Consume(',')) return Err("expected ','");
+      first = false;
+      SkipWs();
+      Report::HistogramEntry entry;
+      LEGODB_ASSIGN_OR_RETURN(entry.name, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      if (!Consume('{')) return Err("expected histogram object");
+      bool first_field = true;
+      while (true) {
+        SkipWs();
+        if (Consume('}')) break;
+        if (!first_field && !Consume(',')) return Err("expected ','");
+        first_field = false;
+        SkipWs();
+        LEGODB_ASSIGN_OR_RETURN(std::string key, ParseString());
+        SkipWs();
+        if (!Consume(':')) return Err("expected ':'");
+        SkipWs();
+        if (key == "count") {
+          LEGODB_ASSIGN_OR_RETURN(entry.count, ParseInt());
+        } else if (key == "sum") {
+          LEGODB_ASSIGN_OR_RETURN(entry.sum, ParseNumber());
+        } else if (key == "min") {
+          LEGODB_ASSIGN_OR_RETURN(entry.min, ParseNumber());
+        } else if (key == "max") {
+          LEGODB_ASSIGN_OR_RETURN(entry.max, ParseNumber());
+        } else {
+          return Err("unknown histogram key '" + key + "'");
+        }
+      }
+      report->histograms.push_back(std::move(entry));
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Report> ReportFromJson(const std::string& json) {
+  return JsonParser(json).ParseReport();
+}
+
+}  // namespace legodb::obs

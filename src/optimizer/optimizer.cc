@@ -6,6 +6,8 @@
 #include <limits>
 #include <map>
 
+#include "obs/obs.h"
+
 namespace legodb::opt {
 namespace {
 
@@ -31,6 +33,8 @@ class BlockPlanner {
     size_t n = block_.rels.size();
     if (n == 0) return Status::InvalidArgument("query block has no relations");
     if (n > 62) return Status::Unsupported("too many relations in block");
+    obs::Count("optimizer.blocks_planned");
+    obs::Observe("optimizer.block_rels", static_cast<double>(n));
     for (size_t i = 0; i < n; ++i) {
       const rel::Table* table = catalog_.FindTable(block_.rels[i].table);
       if (!table) {
@@ -373,6 +377,7 @@ class BlockPlanner {
       int pa = std::popcount(a), pb = std::popcount(b);
       return pa != pb ? pa < pb : a < b;
     });
+    obs::Count("optimizer.dp_plans");
     for (uint64_t mask : masks) {
       Entry entry;
       bool found_connected = false;
@@ -410,11 +415,13 @@ class BlockPlanner {
       }
       if (entry.valid()) best[mask] = entry;
     }
+    obs::Observe("optimizer.memo_size", static_cast<double>(best.size()));
     auto it = best.find(full);
     return it == best.end() ? Entry{} : it->second;
   }
 
   Entry PlanGreedy() {
+    obs::Count("optimizer.greedy_plans");
     size_t n = block_.rels.size();
     std::vector<uint64_t> masks;
     std::vector<Entry> entries;
@@ -468,6 +475,8 @@ StatusOr<PlannedBlock> Optimizer::PlanBlock(const QueryBlock& block) const {
 }
 
 StatusOr<PlannedQuery> Optimizer::PlanQuery(const RelQuery& query) const {
+  obs::ScopedTimer timer("optimizer.plan_ms");
+  obs::Count("optimizer.queries_planned");
   PlannedQuery result;
   for (const auto& block : query.blocks) {
     LEGODB_ASSIGN_OR_RETURN(PlannedBlock pb, PlanBlock(block));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
 #include "pschema/pschema.h"
 
 namespace legodb::store {
@@ -230,6 +231,7 @@ class Reconstructor {
 Status ReconstructInstance(Database* db, const map::Mapping& mapping,
                            const std::string& type_name, int64_t id,
                            xml::Node* parent) {
+  obs::Count("reconstruct.instances");
   Reconstructor r(db, mapping);
   LEGODB_ASSIGN_OR_RETURN(size_t row_idx, r.FindRow(type_name, id));
   return r.EmitInstance(type_name, row_idx, parent);
@@ -237,6 +239,8 @@ Status ReconstructInstance(Database* db, const map::Mapping& mapping,
 
 StatusOr<xml::Document> ReconstructDocument(Database* db,
                                             const map::Mapping& mapping) {
+  obs::Span span("reconstruct.document");
+  obs::Count("reconstruct.documents");
   const std::string& root = mapping.schema().root_type();
   const map::TypeMapping* tm = mapping.FindType(root);
   if (!tm || tm->virtual_union) {

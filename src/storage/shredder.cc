@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "obs/obs.h"
 #include "xquery/evaluator.h"
 
 namespace legodb::store {
@@ -31,6 +32,7 @@ class Shredder {
           "document does not match the physical schema");
     }
     // Success: apply buffered inserts.
+    obs::Count("shred.rows", static_cast<int64_t>(buffer_.size()));
     for (auto& pending : buffer_) {
       db_->GetTable(pending.table).Insert(std::move(pending.row));
     }
@@ -307,6 +309,8 @@ class Shredder {
 
 Status ShredDocument(const xml::Document& doc, const map::Mapping& mapping,
                      Database* db) {
+  obs::Span span("shred.document");
+  obs::Count("shred.documents");
   return Shredder(mapping, db).Shred(doc);
 }
 

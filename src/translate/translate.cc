@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "obs/obs.h"
 #include "xquery/evaluator.h"
 
 namespace legodb::xlat {
@@ -627,7 +628,14 @@ class Translator {
 
 StatusOr<opt::RelQuery> TranslateQuery(const xq::Query& query,
                                        const Mapping& mapping) {
-  return Translator(query, mapping).Run();
+  obs::ScopedTimer timer("translate.ms");
+  obs::Count("translate.queries");
+  StatusOr<opt::RelQuery> result = Translator(query, mapping).Run();
+  if (result.ok()) {
+    obs::Count("translate.blocks",
+               static_cast<int64_t>(result->blocks.size()));
+  }
+  return result;
 }
 
 }  // namespace legodb::xlat

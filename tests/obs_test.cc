@@ -1,0 +1,251 @@
+// Tests for the observability subsystem: span nesting, counter/histogram
+// aggregation, registry snapshots, and the JSON round trip of obs::Report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace legodb::obs {
+namespace {
+
+// Burns a little CPU so nested spans get strictly positive durations
+// without sleeping.
+void Work() {
+  volatile double x = 1.0;
+  for (int i = 0; i < 1000; ++i) x = x * 1.0000001 + 0.1;
+}
+
+TEST(SpanTest, NestedSpansRecordParentAndDepth) {
+  Registry registry;
+  {
+    Span outer("outer", &registry);
+    Work();
+    {
+      Span inner("inner", &registry);
+      Work();
+      { Span leaf("leaf", &registry); Work(); }
+    }
+    { Span sibling("sibling", &registry); Work(); }
+  }
+  Report report = registry.Snapshot();
+  ASSERT_EQ(report.spans.size(), 4u);
+
+  const SpanRecord& outer = report.spans[0];
+  const SpanRecord& inner = report.spans[1];
+  const SpanRecord& leaf = report.spans[2];
+  const SpanRecord& sibling = report.spans[3];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, -1);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.parent, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(leaf.parent, 1);
+  EXPECT_EQ(leaf.depth, 2);
+  EXPECT_EQ(sibling.name, "sibling");
+  EXPECT_EQ(sibling.parent, 0);
+  EXPECT_EQ(sibling.depth, 1);
+
+  // Timing: children start no earlier than their parent, fit inside it,
+  // and every duration is positive.
+  for (const SpanRecord& s : report.spans) {
+    EXPECT_GT(s.duration_ns, 0) << s.name;
+  }
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+  EXPECT_GE(outer.duration_ns,
+            inner.duration_ns + sibling.duration_ns);
+  EXPECT_GE(inner.duration_ns, leaf.duration_ns);
+  // Sibling starts after inner finished.
+  EXPECT_GE(sibling.start_ns, inner.start_ns + inner.duration_ns);
+}
+
+TEST(SpanTest, NoRegistryIsANoOp) {
+  ASSERT_EQ(Current(), nullptr);
+  Span span("orphan");  // must not crash or record anywhere
+  Count("orphan.counter");
+  Observe("orphan.histogram", 1.0);
+  ScopedTimer timer("orphan.timer");
+}
+
+TEST(SpanTest, AmbientRegistryNestsAndRestores) {
+  Registry a, b;
+  EXPECT_EQ(Current(), nullptr);
+  {
+    ScopedRegistry sa(&a);
+    EXPECT_EQ(Current(), &a);
+    Count("hits");
+    {
+      ScopedRegistry sb(&b);
+      EXPECT_EQ(Current(), &b);
+      Count("hits");
+      Count("hits");
+    }
+    EXPECT_EQ(Current(), &a);
+  }
+  EXPECT_EQ(Current(), nullptr);
+  EXPECT_EQ(a.Snapshot().CounterValue("hits"), 1);
+  EXPECT_EQ(b.Snapshot().CounterValue("hits"), 2);
+}
+
+TEST(SpanTest, SpanCapDropsButStaysBalanced) {
+  Registry registry;
+  registry.set_max_spans(2);
+  {
+    ScopedRegistry scoped(&registry);
+    Span a("a");
+    Span b("b");
+    Span c("c");  // dropped
+    Span d("d");  // dropped
+  }
+  Report report = registry.Snapshot();
+  EXPECT_EQ(report.spans.size(), 2u);
+  EXPECT_EQ(report.dropped_spans, 2);
+  // A fresh span after the dropped ones still nests correctly.
+  registry.set_max_spans(100);
+  {
+    ScopedRegistry scoped(&registry);
+    Span e("e");
+  }
+  report = registry.Snapshot();
+  ASSERT_EQ(report.spans.size(), 3u);
+  EXPECT_EQ(report.spans[2].parent, -1);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Registry registry;
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Each thread installs the registry as its own ambient registry.
+      ScopedRegistry scoped(&registry);
+      for (int i = 0; i < kAdds; ++i) Count("parallel.adds");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.Snapshot().CounterValue("parallel.adds"),
+            kThreads * kAdds);
+}
+
+TEST(HistogramTest, AggregatesCountSumMinMax) {
+  Registry registry;
+  ScopedRegistry scoped(&registry);
+  for (double v : {4.0, 1.0, 9.0, 2.0}) Observe("h", v);
+  Report report = registry.Snapshot();
+  const Report::HistogramEntry* h = report.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4);
+  EXPECT_DOUBLE_EQ(h->sum, 16.0);
+  EXPECT_DOUBLE_EQ(h->min, 1.0);
+  EXPECT_DOUBLE_EQ(h->max, 9.0);
+  EXPECT_EQ(report.FindHistogram("missing"), nullptr);
+}
+
+TEST(HistogramTest, ScopedTimerObservesMilliseconds) {
+  Registry registry;
+  {
+    ScopedRegistry scoped(&registry);
+    ScopedTimer timer("timed.ms");
+    Work();
+  }
+  Report report = registry.Snapshot();
+  const auto* h = report.FindHistogram("timed.ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1);
+  EXPECT_GT(h->sum, 0.0);
+}
+
+Report MakeSampleReport() {
+  Registry registry;
+  ScopedRegistry scoped(&registry);
+  {
+    Span outer("phase \"one\"");  // quote exercises JSON escaping
+    Span inner("phase.inner");
+    Count("candidates", 42);
+    Count("cache_hits", 7);
+    Observe("plan_ms", 0.125);
+    Observe("plan_ms", 3.5);
+    Observe("memo_size", 17);
+  }
+  return registry.Snapshot();
+}
+
+TEST(ReportTest, JsonRoundTrip) {
+  Report report = MakeSampleReport();
+  auto parsed = ReportFromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ASSERT_EQ(parsed->spans.size(), report.spans.size());
+  for (size_t i = 0; i < report.spans.size(); ++i) {
+    EXPECT_EQ(parsed->spans[i].name, report.spans[i].name);
+    EXPECT_EQ(parsed->spans[i].start_ns, report.spans[i].start_ns);
+    EXPECT_EQ(parsed->spans[i].duration_ns, report.spans[i].duration_ns);
+    EXPECT_EQ(parsed->spans[i].parent, report.spans[i].parent);
+    EXPECT_EQ(parsed->spans[i].depth, report.spans[i].depth);
+  }
+  ASSERT_EQ(parsed->counters.size(), report.counters.size());
+  for (size_t i = 0; i < report.counters.size(); ++i) {
+    EXPECT_EQ(parsed->counters[i].name, report.counters[i].name);
+    EXPECT_EQ(parsed->counters[i].value, report.counters[i].value);
+  }
+  ASSERT_EQ(parsed->histograms.size(), report.histograms.size());
+  for (size_t i = 0; i < report.histograms.size(); ++i) {
+    EXPECT_EQ(parsed->histograms[i].name, report.histograms[i].name);
+    EXPECT_EQ(parsed->histograms[i].count, report.histograms[i].count);
+    EXPECT_DOUBLE_EQ(parsed->histograms[i].sum, report.histograms[i].sum);
+    EXPECT_DOUBLE_EQ(parsed->histograms[i].min, report.histograms[i].min);
+    EXPECT_DOUBLE_EQ(parsed->histograms[i].max, report.histograms[i].max);
+  }
+  EXPECT_EQ(parsed->dropped_spans, report.dropped_spans);
+  // A second encode of the parse is byte-identical (fixpoint).
+  EXPECT_EQ(parsed->ToJson(), report.ToJson());
+}
+
+TEST(ReportTest, EmptyReportRoundTrips) {
+  Report empty;
+  auto parsed = ReportFromJson(empty.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->spans.empty());
+  EXPECT_TRUE(parsed->counters.empty());
+  EXPECT_TRUE(parsed->histograms.empty());
+}
+
+TEST(ReportTest, RejectsMalformedJson) {
+  EXPECT_FALSE(ReportFromJson("").ok());
+  EXPECT_FALSE(ReportFromJson("not json").ok());
+  EXPECT_FALSE(ReportFromJson("{\"spans\": [").ok());
+  EXPECT_FALSE(ReportFromJson("{\"unexpected\": 1}").ok());
+  EXPECT_FALSE(ReportFromJson("{} trailing").ok());
+}
+
+TEST(ReportTest, LookupHelpersAndTables) {
+  Report report = MakeSampleReport();
+  EXPECT_EQ(report.CounterValue("candidates"), 42);
+  EXPECT_EQ(report.CounterValue("cache_hits"), 7);
+  EXPECT_EQ(report.CounterValue("nonexistent"), 0);
+  EXPECT_GT(report.SpanTotalMillis("phase \"one\""), 0.0);
+  EXPECT_DOUBLE_EQ(report.SpanTotalMillis("nonexistent"), 0.0);
+
+  std::string spans = report.SpanTable();
+  EXPECT_NE(spans.find("phase.inner"), std::string::npos);
+  std::string metrics = report.MetricsTable();
+  EXPECT_NE(metrics.find("candidates"), std::string::npos);
+  EXPECT_NE(metrics.find("plan_ms"), std::string::npos);
+}
+
+TEST(ReportTest, SnapshotClosesOpenSpans) {
+  Registry registry;
+  Span open("still.open", &registry);
+  Work();
+  Report report = registry.Snapshot();
+  ASSERT_EQ(report.spans.size(), 1u);
+  EXPECT_GT(report.spans[0].duration_ns, 0);
+}
+
+}  // namespace
+}  // namespace legodb::obs

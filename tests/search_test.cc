@@ -220,6 +220,58 @@ TEST(MappingEngineTest, EndToEnd) {
   EXPECT_NE(ddl.find("TABLE"), std::string::npos);
 }
 
+TEST(MappingEngineTest, ReportConsistentWithSearchStats) {
+  MappingEngine engine;
+  ASSERT_TRUE(engine.LoadSchemaText(imdb::SchemaText()).ok());
+  ASSERT_TRUE(engine.LoadStatsText(imdb::StatsText()).ok());
+  ASSERT_TRUE(engine.AddQuery("Q1", imdb::QueryText("Q1"), 0.5).ok());
+  ASSERT_TRUE(engine.AddQuery("Q8", imdb::QueryText("Q8"), 0.5).ok());
+  auto result = engine.FindBestConfiguration(GreedySoOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The obs counters wired through CachedCoster must agree with the ad-hoc
+  // SearchStats the search has always maintained.
+  const obs::Report& report = result->report;
+  const SearchStats& stats = result->search.stats;
+  EXPECT_EQ(report.CounterValue("search.cost_evaluations"),
+            stats.cost_evaluations);
+  EXPECT_EQ(report.CounterValue("search.cache_hits"), stats.cache_hits);
+  EXPECT_GT(stats.cache_hits + stats.cost_evaluations, 0);
+
+  // Every successful cost evaluation went through the optimizer; planning
+  // attempts can exceed successes (failed plans are skipped by the search).
+  EXPECT_GE(report.CounterValue("optimizer.queries_planned"),
+            stats.cost_evaluations);
+
+  // Phase spans and timing histograms are populated.
+  EXPECT_GT(report.SpanTotalMillis("search"), 0.0);
+  EXPECT_GT(report.SpanTotalMillis("find_best_configuration"), 0.0);
+  const auto* plan_ms = report.FindHistogram("optimizer.plan_ms");
+  ASSERT_NE(plan_ms, nullptr);
+  EXPECT_GE(plan_ms->count, stats.cost_evaluations);
+  ASSERT_NE(report.FindHistogram("translate.ms"), nullptr);
+
+  // Per-iteration wall times are recorded in the trace.
+  ASSERT_FALSE(result->search.trace.empty());
+  for (const auto& step : result->search.trace) {
+    EXPECT_GE(step.elapsed_ms, 0.0);
+  }
+  // One search.iteration span per executed iteration (improving iterations
+  // plus the final non-improving one), matching the counter.
+  int64_t iteration_spans = 0;
+  for (const auto& span : report.spans) {
+    if (span.name == "search.iteration") ++iteration_spans;
+  }
+  EXPECT_EQ(iteration_spans, report.CounterValue("search.iterations"));
+  EXPECT_GE(iteration_spans,
+            static_cast<int64_t>(result->search.trace.size()) - 1);
+
+  // The report round-trips through its JSON export.
+  auto parsed = obs::ReportFromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->CounterValue("search.cache_hits"), stats.cache_hits);
+}
+
 TEST(MappingEngineTest, RejectsBadInputs) {
   MappingEngine engine;
   EXPECT_FALSE(engine.LoadSchemaText("type = broken").ok());

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + ctest, mirroring the ROADMAP
+# verify line. Extra arguments are forwarded to CMake, e.g.
+#
+#   tools/check.sh                           # plain build + tests
+#   tools/check.sh -DLEGODB_SANITIZE=address # ASan build + tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"

@@ -1,14 +1,18 @@
 // legodb — command-line front end to the mapping engine.
 //
 // Usage:
-//   legodb --schema schema.xalg --stats stats.st \
-//          --query 'Q1:0.4:FOR $v IN ...' [--query ...] \
-//          [--update 'add_review:2.0:imdb/show/reviews'] \
+//   legodb --schema schema.xalg --stats stats.st
+//          --query 'Q1:0.4:FOR $v IN ...' [--query ...]
+//          [--update 'add_review:2.0:imdb/show/reviews']
 //          [--start so|si] [--beam N] [--threshold F] [--explain]
+//          [--explain-search] [--trace] [--metrics-out=FILE]
 //   legodb --demo imdb|auction       # run on the built-in applications
 //
-// Prints the search trace, the chosen physical XML schema, the derived
-// relational DDL, and (with --explain) the SQL and plan for each query.
+// Prints the search summary, the chosen physical XML schema and the derived
+// relational DDL. --explain-search dumps the per-iteration greedy-search
+// trajectory (cost, candidates, elapsed ms, chosen transformation); --trace
+// dumps the span tree and metrics of the run; --metrics-out writes the full
+// obs::Report as JSON; --explain shows the SQL and plan for each query.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "auction/auction.h"
+#include "core/explain.h"
 #include "core/legodb.h"
 #include "imdb/imdb.h"
 #include "xschema/stats_collector.h"
@@ -56,8 +61,18 @@ int Usage() {
       "usage: legodb --schema FILE --stats FILE --query NAME:W:XQUERY...\n"
       "              [--update NAME:W:path/to/element]... [--start so|si]\n"
       "              [--beam N] [--threshold F] [--explain]\n"
-      "       legodb --demo imdb|auction [--explain]\n");
+      "              [--explain-search] [--trace] [--metrics-out=FILE]\n"
+      "       legodb --demo imdb|auction [--explain] [--explain-search]\n"
+      "              [--trace] [--metrics-out=FILE]\n");
   return 2;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << content;
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to " + path);
 }
 
 }  // namespace
@@ -66,6 +81,9 @@ int main(int argc, char** argv) {
   core::MappingEngine engine;
   core::SearchOptions options = core::GreedySoOptions();
   bool explain = false;
+  bool explain_search = false;
+  bool trace = false;
+  std::string metrics_out;
   bool have_schema = false;
   std::string demo;
 
@@ -127,6 +145,17 @@ int main(int argc, char** argv) {
       options.min_relative_improvement = std::strtod(v, nullptr);
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--explain-search") {
+      explain_search = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+      if (metrics_out.empty()) return Usage();
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      metrics_out = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage();
@@ -170,12 +199,28 @@ int main(int argc, char** argv) {
                  result.status().ToString().c_str());
     return 1;
   }
-  std::printf("=== search trace (%lld optimizer calls, %lld cache hits) ===\n",
-              static_cast<long long>(result->search.stats.cost_evaluations),
-              static_cast<long long>(result->search.stats.cache_hits));
-  for (const auto& step : result->search.trace) {
-    std::printf("  %2d  %14.1f  %s\n", step.iteration, step.cost,
-                step.applied.c_str());
+  std::printf("=== search: %s ===\n",
+              core::SearchSummary(result->search).c_str());
+  if (explain_search) {
+    std::printf("%s", core::ExplainSearchTable(result->search).c_str());
+  } else {
+    for (const auto& step : result->search.trace) {
+      std::printf("  %2d  %14.1f  %s\n", step.iteration, step.cost,
+                  step.applied.c_str());
+    }
+  }
+  if (trace) {
+    std::printf("\n=== trace ===\n%s\n=== metrics ===\n%s",
+                result->report.SpanTable().c_str(),
+                result->report.MetricsTable().c_str());
+  }
+  if (!metrics_out.empty()) {
+    Status st = WriteFile(metrics_out, result->report.ToJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics report written to %s\n", metrics_out.c_str());
   }
   std::printf("\n=== physical XML schema ===\n%s\n",
               result->search.best_schema.ToString().c_str());
