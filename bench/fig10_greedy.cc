@@ -6,10 +6,12 @@
 // Paper reference: greedy-so starts much higher (many joins) and converges
 // in more iterations for publish than for lookup; greedy-si converges
 // faster for publish; both variants end at similar costs.
-// With an argument, the obs metrics of the whole run (per-iteration search
-// spans, optimizer/translate timings, cache counters) are written there as
-// JSON, e.g. `fig10_greedy BENCH_fig10_greedy.json`.
+// With a file argument, the obs metrics of the whole run (per-iteration
+// search spans, optimizer/translate timings, cache counters) are written
+// there as JSON, e.g. `fig10_greedy BENCH_fig10_greedy.json`; `--threads=N`
+// sets the candidate-evaluation worker count (0 = hardware concurrency).
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
@@ -19,6 +21,15 @@ using namespace legodb;
 
 int main(int argc, char** argv) {
   bench::ObsSession obs_session;
+  int threads = 0;  // 0 = hardware concurrency
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else {
+      json_out = argv[i];
+    }
+  }
   std::printf(
       "Figure 10: cost at each greedy iteration (normalized by the final\n"
       "cost of greedy-so on that workload), for lookup and publish "
@@ -29,13 +40,15 @@ int main(int argc, char** argv) {
   for (const char* wname : {"lookup", "publish"}) {
     core::Workload workload =
         bench::Unwrap(imdb::MakeWorkload(wname), "workload");
+    core::SearchOptions so_options = core::GreedySoOptions();
+    so_options.threads = threads;
+    core::SearchOptions si_options = core::GreedySiOptions();
+    si_options.threads = threads;
     core::SearchResult so = bench::Unwrap(
-        core::GreedySearch(annotated, workload, params,
-                           core::GreedySoOptions()),
+        core::GreedySearch(annotated, workload, params, so_options),
         "greedy-so");
     core::SearchResult si = bench::Unwrap(
-        core::GreedySearch(annotated, workload, params,
-                           core::GreedySiOptions()),
+        core::GreedySearch(annotated, workload, params, si_options),
         "greedy-si");
     double norm = so.best_cost;
     std::printf("workload: %s\n", wname);
@@ -59,6 +72,6 @@ int main(int argc, char** argv) {
         so.best_cost, ps::Normalize(so.best_schema).size(), si.best_cost,
         ps::Normalize(si.best_schema).size());
   }
-  if (argc > 1) obs_session.WriteJson(argv[1]);
+  if (!json_out.empty()) obs_session.WriteJson(json_out);
   return 0;
 }

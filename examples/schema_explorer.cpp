@@ -84,7 +84,7 @@ int main() {
       auto out = core::ApplyTransformation(base, t);
       if (!out.ok()) continue;
       std::printf("==== %s ====\napplied: %s\n\n", c.title,
-                  t.description.c_str());
+                  t.Describe(base).c_str());
       Show("resulting schema", out.value(), probe);
       applied = true;
       break;

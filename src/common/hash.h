@@ -1,0 +1,62 @@
+#ifndef LEGODB_COMMON_HASH_H_
+#define LEGODB_COMMON_HASH_H_
+
+// Stable 64-bit hashing primitives for fingerprints and cache keys. All
+// functions are deterministic across runs and platforms (no std::hash, no
+// pointer values), so fingerprints can be compared across processes and
+// stored in reports.
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace legodb::common {
+
+// FNV-1a 64-bit over raw bytes.
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = 0xcbf29ce484222325ull) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s,
+                           uint64_t seed = 0xcbf29ce484222325ull) {
+  // Hash the length first so ("ab","c") and ("a","bc") chains differ.
+  uint64_t len = s.size();
+  uint64_t h = HashBytes(&len, sizeof(len), seed);
+  return HashBytes(s.data(), s.size(), h);
+}
+
+// splitmix64 finalizer: decorrelates combined values.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Order-sensitive combination of two 64-bit values.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (Mix64(b) + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+inline uint64_t HashInt(int64_t v, uint64_t seed) {
+  return HashCombine(seed, Mix64(static_cast<uint64_t>(v)));
+}
+
+inline uint64_t HashDouble(double v, uint64_t seed) {
+  // Normalize -0.0 so equal values hash equally.
+  if (v == 0.0) v = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashCombine(seed, Mix64(bits));
+}
+
+}  // namespace legodb::common
+
+#endif  // LEGODB_COMMON_HASH_H_

@@ -7,12 +7,16 @@
 namespace legodb::core {
 
 std::string ExplainSearchTable(const SearchResult& result) {
-  TablePrinter table(
-      {"iter", "cost", "candidates", "elapsed_ms", "transformation"});
+  TablePrinter table({"iter", "cost", "descriptors", "candidates",
+                      "elapsed_ms", "speedup", "transformation"});
   for (const auto& step : result.trace) {
+    double speedup =
+        step.elapsed_ms > 0 ? step.work_ms / step.elapsed_ms : 0;
     table.AddRow({std::to_string(step.iteration), FormatDouble(step.cost, 1),
+                  std::to_string(step.descriptors),
                   std::to_string(step.candidates),
                   FormatDouble(step.elapsed_ms, 2),
+                  step.iteration == 0 ? "-" : FormatDouble(speedup, 2) + "x",
                   step.applied.empty() ? "(initial configuration)"
                                        : step.applied});
   }
@@ -31,16 +35,19 @@ std::string SearchSummary(const SearchResult& result) {
   double initial = result.trace.empty() ? 0 : result.trace.front().cost;
   double reduction =
       initial == 0 ? 0 : 100.0 * (1.0 - result.best_cost / initial);
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "%zu iterations, cost %.1f -> %.1f (%.1f%% reduction), "
-                "%lld optimizer calls, %lld cache hits (%.1f%% hit rate)",
-                result.trace.empty() ? 0 : result.trace.size() - 1, initial,
-                result.best_cost,
-                reduction,
-                static_cast<long long>(result.stats.cost_evaluations),
-                static_cast<long long>(result.stats.cache_hits),
-                100.0 * CacheHitRate(result.stats));
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%zu iterations, cost %.1f -> %.1f (%.1f%% reduction), "
+      "%lld descriptors, %lld optimizer calls, %lld cache hits "
+      "(%.1f%% fingerprint-cache hit rate), %d thread%s",
+      result.trace.empty() ? 0 : result.trace.size() - 1, initial,
+      result.best_cost, reduction,
+      static_cast<long long>(result.stats.descriptors_enumerated),
+      static_cast<long long>(result.stats.cost_evaluations),
+      static_cast<long long>(result.stats.cache_hits),
+      100.0 * CacheHitRate(result.stats), result.stats.threads_used,
+      result.stats.threads_used == 1 ? "" : "s");
   return buf;
 }
 

@@ -1,0 +1,42 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace legodb::core {
+
+int ResolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(size_t n, int threads,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  int workers = std::min<size_t>(static_cast<size_t>(std::max(1, threads)), n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  obs::Registry* registry = obs::Current();
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    obs::ScopedRegistry scoped(registry);
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers) - 1);
+  for (int t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace legodb::core

@@ -1,0 +1,26 @@
+#ifndef LEGODB_CORE_PARALLEL_H_
+#define LEGODB_CORE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace legodb::core {
+
+// Resolves a thread-count request: n >= 1 is taken literally; n <= 0 means
+// "one worker per hardware thread" (never less than 1).
+int ResolveThreads(int requested);
+
+// Runs fn(0) ... fn(n-1), distributing indices over at most `threads`
+// workers (atomic work-stealing counter). With threads <= 1 or n <= 1 the
+// calls run inline on the calling thread, in index order — the serial path
+// has no pool, no locks, and no reordering.
+//
+// Each worker installs the calling thread's ambient obs registry, so
+// counters/histograms recorded inside fn accumulate into the same registry
+// regardless of thread count. `fn` must be safe to invoke concurrently;
+// exceptions must not escape it.
+void ParallelFor(size_t n, int threads, const std::function<void(size_t)>& fn);
+
+}  // namespace legodb::core
+
+#endif  // LEGODB_CORE_PARALLEL_H_

@@ -1,14 +1,21 @@
 #include "core/search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 
+#include "common/hash.h"
+#include "core/parallel.h"
 #include "obs/obs.h"
 #include "optimizer/optimizer.h"
 #include "translate/translate.h"
+#include "xschema/fingerprint.h"
 
 namespace legodb::core {
 
@@ -28,12 +35,51 @@ SearchOptions GreedySoOptions() {
   return o;
 }
 
+uint64_t CostCacheFingerprint(const opt::RelQuery& query,
+                              const rel::Catalog& catalog) {
+  uint64_t h = common::HashString(query.ToSql());
+  std::set<std::string> tables;
+  for (const auto& block : query.blocks) {
+    for (const auto& rel : block.rels) tables.insert(rel.table);
+  }
+  for (const auto& name : tables) {
+    const rel::Table& t = catalog.GetTable(name);
+    h = common::HashCombine(h, common::HashString(t.name));
+    h = common::HashCombine(h, common::HashString(t.key_column));
+    h = common::HashDouble(t.row_count, h);
+    h = common::HashInt(static_cast<int64_t>(t.columns.size()), h);
+    for (const auto& col : t.columns) {
+      h = common::HashCombine(h, common::HashString(col.name));
+      h = common::HashInt(static_cast<int64_t>(col.type.kind), h);
+      h = common::HashDouble(col.type.width, h);
+      h = common::HashInt(col.nullable ? 1 : 0, h);
+      h = common::HashDouble(col.null_fraction, h);
+      h = common::HashDouble(col.distincts, h);
+      h = common::HashInt(col.min, h);
+      h = common::HashInt(col.max, h);
+    }
+    for (const auto& fk : t.foreign_keys) {
+      h = common::HashCombine(h, common::HashString(fk.column));
+      h = common::HashCombine(h, common::HashString(fk.parent_table));
+    }
+  }
+  return common::Mix64(h);
+}
+
 namespace {
 
 // Costs workloads against configurations, reusing a query's estimate when
-// its translated SQL and the statistics of every table it touches are
-// unchanged from an earlier configuration. Most single transformations
+// the fingerprint of its translated SQL plus the touched tables'
+// statistics matches an earlier configuration. Most single transformations
 // affect one or two types, so most workload queries hit the cache.
+//
+// Thread-safe: Cost() may run concurrently for different configurations.
+// The per-query caches sit behind one mutex (lookups are cheap; planning —
+// the expensive part — runs outside the lock), and the counters are
+// atomic. Two workers missing the same key concurrently may both plan it
+// (both count as evaluations), so per-(configuration, query) exactly one
+// of {cache_hit, cost_evaluation} is recorded and the totals invariant of
+// SearchStats holds at any thread count.
 class CachedCoster {
  public:
   CachedCoster(const Workload& workload, const opt::CostParams& params,
@@ -42,7 +88,9 @@ class CachedCoster {
     caches_.resize(workload.queries.size());
   }
 
-  StatusOr<double> Cost(const xs::Schema& pschema, SearchStats* stats) {
+  StatusOr<double> Cost(const xs::Schema& pschema) {
+    schemas_costed_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count("search.schemas_costed");
     LEGODB_ASSIGN_OR_RETURN(map::Mapping mapping, map::MapSchema(pschema));
     opt::Optimizer optimizer(mapping.catalog(), params_);
     double total = 0;
@@ -50,22 +98,30 @@ class CachedCoster {
       const WorkloadQuery& wq = workload_.queries[i];
       LEGODB_ASSIGN_OR_RETURN(opt::RelQuery rq,
                               xlat::TranslateQuery(wq.query, mapping));
-      std::string key;
+      uint64_t key = 0;
       if (enabled_) {
-        key = CacheKey(rq, mapping.catalog());
-        auto it = caches_[i].find(key);
-        if (it != caches_[i].end()) {
-          ++stats->cache_hits;
+        key = CostCacheFingerprint(rq, mapping.catalog());
+        std::optional<double> cached;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = caches_[i].find(key);
+          if (it != caches_[i].end()) cached = it->second;
+        }
+        if (cached) {
+          cache_hits_.fetch_add(1, std::memory_order_relaxed);
           obs::Count("search.cache_hits");
-          total += wq.weight * it->second;
+          total += wq.weight * *cached;
           continue;
         }
       }
       LEGODB_ASSIGN_OR_RETURN(opt::PlannedQuery planned,
                               optimizer.PlanQuery(rq));
-      ++stats->cost_evaluations;
+      cost_evaluations_.fetch_add(1, std::memory_order_relaxed);
       obs::Count("search.cost_evaluations");
-      if (enabled_) caches_[i][key] = planned.total_cost;
+      if (enabled_) {
+        std::lock_guard<std::mutex> lock(mu_);
+        caches_[i].emplace(key, planned.total_cost);
+      }
       total += wq.weight * planned.total_cost;
     }
     for (const auto& op : workload_.updates) {
@@ -76,38 +132,37 @@ class CachedCoster {
     return total;
   }
 
- private:
-  static std::string CacheKey(const opt::RelQuery& rq,
-                              const rel::Catalog& catalog) {
-    std::string key = rq.ToSql();
-    std::set<std::string> tables;
-    for (const auto& block : rq.blocks) {
-      for (const auto& rel : block.rels) tables.insert(rel.table);
-    }
-    for (const auto& name : tables) {
-      const rel::Table& t = catalog.GetTable(name);
-      double distincts = 0, null_frac = 0;
-      for (const auto& col : t.columns) {
-        distincts += col.distincts;
-        null_frac += col.null_fraction;
-      }
-      key += "|" + name + "#" + std::to_string(t.row_count) + "#" +
-             std::to_string(t.RowWidth()) + "#" +
-             std::to_string(t.columns.size()) + "#" +
-             std::to_string(distincts) + "#" + std::to_string(null_frac);
-    }
-    return key;
+  void FillStats(SearchStats* stats) const {
+    stats->cost_evaluations = cost_evaluations_.load();
+    stats->cache_hits = cache_hits_.load();
+    stats->schemas_costed = schemas_costed_.load();
   }
 
+ private:
   const Workload& workload_;
   const opt::CostParams& params_;
   bool enabled_;
-  std::vector<std::map<std::string, double>> caches_;
+  std::mutex mu_;
+  std::vector<std::map<uint64_t, double>> caches_;
+  std::atomic<int64_t> cost_evaluations_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> schemas_costed_{0};
 };
 
 struct BeamEntry {
   xs::Schema schema;
   double cost = 0;
+};
+
+// One candidate move of an iteration: a descriptor against a beam entry,
+// materialized into a schema (phase A) and costed (phase B) on demand.
+struct CandidateItem {
+  size_t entry = 0;  // index into the beam
+  TransformDescriptor desc;
+  std::optional<xs::Schema> schema;  // set when the descriptor applied OK
+  uint64_t fingerprint = 0;
+  bool unique = false;  // survived fingerprint dedupe
+  std::optional<double> cost;  // set when costing succeeded
 };
 
 }  // namespace
@@ -132,54 +187,115 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
   }
 
   SearchResult result;
+  const int threads = ResolveThreads(options.threads);
+  result.stats.threads_used = threads;
   CachedCoster coster(workload, params, options.cache_query_costs);
   double initial_cost;
   {
     obs::Span initial_span("search.initial_cost");
-    LEGODB_ASSIGN_OR_RETURN(initial_cost,
-                            coster.Cost(initial, &result.stats));
+    LEGODB_ASSIGN_OR_RETURN(initial_cost, coster.Cost(initial));
   }
 
   int beam_width = std::max(1, options.beam_width);
   std::vector<BeamEntry> beam = {BeamEntry{initial, initial_cost}};
   xs::Schema best_schema = std::move(initial);
   double best_cost = initial_cost;
-  // Configurations already evaluated anywhere in the run.
-  std::set<std::string> seen = {best_schema.ToString()};
+  // Fingerprints of configurations already evaluated anywhere in the run.
+  std::set<uint64_t> seen = {xs::FingerprintSchema(best_schema)};
 
   result.trace.push_back(SearchResult::IterationLog{
-      0, best_cost, "", 0,
-      static_cast<double>(obs::NowNanos() - phase_start) / 1e6});
+      0, best_cost, "", 0, 0,
+      static_cast<double>(obs::NowNanos() - phase_start) / 1e6, 0});
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     obs::Span iter_span("search.iteration");
     int64_t iter_start = obs::NowNanos();
     obs::Count("search.iterations");
-    std::vector<BeamEntry> expanded;
-    std::string best_move;
-    double iter_best = std::numeric_limits<double>::infinity();
-    int evaluated = 0;
-    for (const BeamEntry& entry : beam) {
-      for (const auto& cand :
-           EnumerateTransformations(entry.schema, options.transforms)) {
-        auto next = ApplyTransformation(entry.schema, cand);
-        if (!next.ok()) continue;
-        std::string signature = next->ToString();
-        if (!seen.insert(signature).second) continue;
-        auto next_cost = coster.Cost(next.value(), &result.stats);
-        if (!next_cost.ok()) continue;
-        ++evaluated;
-        if (*next_cost < iter_best) {
-          iter_best = *next_cost;
-          best_move = cand.description;
-        }
-        expanded.push_back(BeamEntry{std::move(next).value(), *next_cost});
+
+    // Enumerate transform descriptors against every beam entry — cheap:
+    // no candidate schema is materialized here.
+    std::vector<CandidateItem> items;
+    for (size_t e = 0; e < beam.size(); ++e) {
+      for (auto& desc :
+           EnumerateTransformations(beam[e].schema, options.transforms)) {
+        CandidateItem item;
+        item.entry = e;
+        item.desc = std::move(desc);
+        items.push_back(std::move(item));
       }
     }
+    result.stats.descriptors_enumerated +=
+        static_cast<int64_t>(items.size());
+    obs::Count("search.descriptors_enumerated",
+               static_cast<int64_t>(items.size()));
+
+    // Phase A (parallel): apply each descriptor and fingerprint the
+    // resulting schema.
+    std::atomic<int64_t> work_ns{0};
+    ParallelFor(items.size(), threads, [&](size_t k) {
+      int64_t t0 = obs::NowNanos();
+      CandidateItem& item = items[k];
+      auto next = ApplyTransformation(beam[item.entry].schema, item.desc);
+      if (next.ok()) {
+        item.fingerprint = xs::FingerprintSchema(next.value());
+        item.schema = std::move(next).value();
+      }
+      work_ns.fetch_add(obs::NowNanos() - t0, std::memory_order_relaxed);
+    });
+
+    // Dedupe sequentially in descriptor order, so the surviving candidate
+    // for any fingerprint is the same at every thread count.
+    for (auto& item : items) {
+      if (!item.schema) continue;
+      if (seen.insert(item.fingerprint).second) {
+        item.unique = true;
+      } else {
+        ++result.stats.dedup_hits;
+        obs::Count("search.dedup_hits");
+      }
+    }
+
+    // Phase B (parallel): cost the surviving candidates.
+    std::vector<size_t> todo;
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (items[k].unique) todo.push_back(k);
+    }
+    ParallelFor(todo.size(), threads, [&](size_t j) {
+      int64_t t0 = obs::NowNanos();
+      CandidateItem& item = items[todo[j]];
+      auto cost = coster.Cost(*item.schema);
+      if (cost.ok()) item.cost = *cost;
+      work_ns.fetch_add(obs::NowNanos() - t0, std::memory_order_relaxed);
+    });
+
+    // Select sequentially in descriptor order: identical results and tie
+    // breaks regardless of thread count.
+    std::vector<BeamEntry> expanded;
+    const CandidateItem* best_item = nullptr;
+    double iter_best = std::numeric_limits<double>::infinity();
+    int evaluated = 0;
+    for (auto& item : items) {
+      if (!item.cost) continue;
+      ++evaluated;
+      if (*item.cost < iter_best) {
+        iter_best = *item.cost;
+        best_item = &item;
+      }
+      expanded.push_back(BeamEntry{std::move(*item.schema), *item.cost});
+    }
     obs::Count("search.candidates_evaluated", evaluated);
+    double iter_work_ms = static_cast<double>(work_ns.load()) / 1e6;
+    double iter_elapsed_ms =
+        static_cast<double>(obs::NowNanos() - iter_start) / 1e6;
+    if (iter_elapsed_ms > 0) {
+      obs::Observe("search.parallel_speedup",
+                   iter_work_ms / iter_elapsed_ms);
+    }
     double threshold = best_cost * (1.0 - options.min_relative_improvement);
     if (evaluated == 0 || iter_best >= threshold) break;
 
+    std::string best_move =
+        best_item->desc.Describe(beam[best_item->entry].schema);
     std::sort(expanded.begin(), expanded.end(),
               [](const BeamEntry& a, const BeamEntry& b) {
                 return a.cost < b.cost;
@@ -192,9 +308,12 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
     best_schema = beam[0].schema;
     result.trace.push_back(SearchResult::IterationLog{
         iter, best_cost, best_move, evaluated,
-        static_cast<double>(obs::NowNanos() - iter_start) / 1e6});
+        static_cast<int>(items.size()),
+        static_cast<double>(obs::NowNanos() - iter_start) / 1e6,
+        iter_work_ms});
   }
 
+  coster.FillStats(&result.stats);
   result.best_schema = std::move(best_schema);
   result.best_cost = best_cost;
   return result;

@@ -1,6 +1,7 @@
 #ifndef LEGODB_CORE_SEARCH_H_
 #define LEGODB_CORE_SEARCH_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "core/cost.h"
 #include "core/transforms.h"
 #include "core/workload.h"
+#include "optimizer/plan.h"
 
 namespace legodb::core {
 
@@ -41,14 +43,33 @@ struct SearchOptions {
   // translated SQL and the statistics of the tables it touches are
   // unchanged (most single transformations leave most workload queries
   // untouched). Implements the Section-7 idea of letting the optimizer
-  // "reuse partial results from one evaluation to the next".
+  // "reuse partial results from one evaluation to the next". The cache is
+  // keyed per query on a collision-safe 64-bit fingerprint of the
+  // translated SQL plus the touched tables' statistics.
   bool cache_query_costs = true;
+
+  // Worker threads for candidate evaluation: each iteration's neighbors
+  // are applied and costed on a small pool. 0 means one worker per
+  // hardware thread; 1 reproduces the serial search bit-for-bit. Results
+  // (best schema, cost, iteration log) are identical for every thread
+  // count: candidates are generated, deduped, and selected in a
+  // deterministic order, with parallelism confined to the per-candidate
+  // apply/map/translate/plan work.
+  int threads = 0;
 };
 
-// Counters exposed for tests/benchmarks of the cost cache.
+// Counters exposed for tests/benchmarks of the candidate-evaluation
+// pipeline. Invariant (when every candidate costs cleanly):
+//   cost_evaluations + cache_hits == schemas_costed * |workload queries|
+// — every (configuration, query) pair is either planned or served from the
+// fingerprint cache, exactly once, at any thread count.
 struct SearchStats {
   int64_t cost_evaluations = 0;  // optimizer invocations (query granularity)
-  int64_t cache_hits = 0;
+  int64_t cache_hits = 0;        // fingerprint-cache hits (query granularity)
+  int64_t schemas_costed = 0;    // configurations fully costed (incl. initial)
+  int64_t descriptors_enumerated = 0;  // transform descriptors generated
+  int64_t dedup_hits = 0;  // candidates skipped by schema-fingerprint dedupe
+  int threads_used = 0;    // resolved worker count
 };
 
 struct SearchResult {
@@ -61,7 +82,13 @@ struct SearchResult {
     double cost = 0;         // cost after this iteration
     std::string applied;     // transformation taken ("" for iteration 0)
     int candidates = 0;      // number of candidates evaluated
+    int descriptors = 0;     // transform descriptors enumerated
     double elapsed_ms = 0;   // wall time spent on this iteration
+    double work_ms = 0;      // summed per-candidate evaluation time; the
+                             // ratio work_ms / elapsed_ms is the candidate
+                             // concurrency achieved on this iteration (it
+                             // overstates wall-clock speedup when workers
+                             // outnumber available cores)
   };
   std::vector<IterationLog> trace;
 };
@@ -77,6 +104,15 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
 // The two search variants of Section 5.2.
 SearchOptions GreedySiOptions();  // start all-inlined, apply outlining
 SearchOptions GreedySoOptions();  // start all-outlined, apply inlining
+
+// Collision-safe cost-cache key for one translated query: a 64-bit hash of
+// the rendered SQL combined with a fingerprint of every touched table
+// (row count, key/foreign-key structure, and each column's type, width,
+// null fraction, distinct count and range hashed individually — unlike the
+// historical string key, which summed per-column statistics and could
+// collide across different column distributions). Exposed for tests.
+uint64_t CostCacheFingerprint(const opt::RelQuery& query,
+                              const rel::Catalog& catalog);
 
 }  // namespace legodb::core
 

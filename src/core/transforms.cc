@@ -49,29 +49,94 @@ std::string PathStr(const NodePath& path) {
   return out.empty() ? "<root>" : out;
 }
 
+const char* KindName(TransformDescriptor::Kind kind) {
+  switch (kind) {
+    case TransformDescriptor::Kind::kInline: return "inline";
+    case TransformDescriptor::Kind::kOutline: return "outline";
+    case TransformDescriptor::Kind::kUnionDistribute: return "distribute";
+    case TransformDescriptor::Kind::kUnionToOptions: return "options";
+    case TransformDescriptor::Kind::kRepetitionSplit: return "split";
+    case TransformDescriptor::Kind::kRepetitionMerge: return "merge";
+    case TransformDescriptor::Kind::kWildcardMaterialize: return "wildcard";
+  }
+  return "?";
+}
+
 }  // namespace
 
-std::vector<Transformation> EnumerateTransformations(
+std::string TransformDescriptor::Signature() const {
+  std::string out = std::string(KindName(kind)) + ":" + type_name;
+  for (int i : path) out += "." + std::to_string(i);
+  if (!tag.empty()) out += "'" + tag;
+  return out;
+}
+
+std::string TransformDescriptor::Describe(const xs::Schema& schema) const {
+  switch (kind) {
+    case Kind::kInline:
+      return "inline type " + type_name;
+    case Kind::kOutline: {
+      TypePtr body = schema.Find(type_name);
+      TypePtr node = body ? ps::NodeAt(body, path) : nullptr;
+      std::string element =
+          node && node->kind == Type::Kind::kElement ? node->name.ToString()
+                                                     : PathStr(path);
+      return "outline element " + element + " from " + type_name;
+    }
+    case Kind::kUnionDistribute:
+      return "distribute union in " + type_name + " at " + PathStr(path);
+    case Kind::kUnionToOptions:
+      return "union-to-options in " + type_name + " at " + PathStr(path);
+    case Kind::kRepetitionSplit: {
+      TypePtr body = schema.Find(type_name);
+      TypePtr node = body ? ps::NodeAt(body, path) : nullptr;
+      std::string repeated =
+          node && node->kind == Type::Kind::kRepetition && node->child &&
+                  node->child->kind == Type::Kind::kTypeRef
+              ? node->child->ref_name
+              : PathStr(path);
+      return "split repetition of " + repeated + " in " + type_name;
+    }
+    case Kind::kRepetitionMerge: {
+      std::string repeated = PathStr(path);
+      TypePtr body = schema.Find(type_name);
+      if (body && !path.empty()) {
+        NodePath seq_path(path.begin(), path.end() - 1);
+        size_t idx = static_cast<size_t>(path.back());
+        TypePtr seq = ps::NodeAt(body, seq_path);
+        if (seq && seq->kind == Type::Kind::kSequence &&
+            idx + 1 < seq->children.size() &&
+            seq->children[idx + 1]->kind == Type::Kind::kRepetition &&
+            seq->children[idx + 1]->child->kind == Type::Kind::kTypeRef) {
+          repeated = seq->children[idx + 1]->child->ref_name;
+        }
+      }
+      return "merge repetition of " + repeated + " in " + type_name;
+    }
+    case Kind::kWildcardMaterialize:
+      return "materialize wildcard tag '" + tag + "' in " + type_name;
+  }
+  return Signature();
+}
+
+std::vector<TransformDescriptor> EnumerateTransformations(
     const Schema& schema, const TransformOptions& options) {
-  std::vector<Transformation> out;
+  std::vector<TransformDescriptor> out;
 
   if (options.inline_types) {
     for (const auto& name : ps::EnumerateInlineCandidates(schema)) {
-      Transformation t;
-      t.kind = Transformation::Kind::kInline;
+      TransformDescriptor t;
+      t.kind = TransformDescriptor::Kind::kInline;
       t.type_name = name;
-      t.description = "inline type " + name;
       out.push_back(std::move(t));
     }
   }
   if (options.outline_elements) {
     for (const auto& cand : ps::EnumerateOutlineCandidates(schema)) {
-      Transformation t;
-      t.kind = Transformation::Kind::kOutline;
+      TransformDescriptor t;
+      t.kind = TransformDescriptor::Kind::kOutline;
       t.type_name = cand.type_name;
       t.path = cand.path;
-      t.description =
-          "outline element " + cand.element_name + " from " + cand.type_name;
       out.push_back(std::move(t));
     }
   }
@@ -90,11 +155,10 @@ std::vector<Transformation> EnumerateTransformations(
       if (IsUnionOfRefs(node)) {
         if (options.union_distribute && !p.empty() &&
             name != schema.root_type()) {
-          Transformation t;
-          t.kind = Transformation::Kind::kUnionDistribute;
+          TransformDescriptor t;
+          t.kind = TransformDescriptor::Kind::kUnionDistribute;
           t.type_name = name;
           t.path = p;
-          t.description = "distribute union in " + name + " at " + PathStr(p);
           out.push_back(std::move(t));
         }
         if (options.union_to_options) {
@@ -103,12 +167,10 @@ std::vector<Transformation> EnumerateTransformations(
             if (schema.IsRecursive(alt->ref_name)) ok = false;
           }
           if (ok) {
-            Transformation t;
-            t.kind = Transformation::Kind::kUnionToOptions;
+            TransformDescriptor t;
+            t.kind = TransformDescriptor::Kind::kUnionToOptions;
             t.type_name = name;
             t.path = p;
-            t.description =
-                "union-to-options in " + name + " at " + PathStr(p);
             out.push_back(std::move(t));
           }
         }
@@ -118,12 +180,10 @@ std::vector<Transformation> EnumerateTransformations(
           node->min_occurs >= 1 && !(node->min_occurs == 1 && node->max_occurs == 1) &&
           node->child->kind == Type::Kind::kTypeRef &&
           !schema.IsRecursive(node->child->ref_name)) {
-        Transformation t;
-        t.kind = Transformation::Kind::kRepetitionSplit;
+        TransformDescriptor t;
+        t.kind = TransformDescriptor::Kind::kRepetitionSplit;
         t.type_name = name;
         t.path = p;
-        t.description = "split repetition of " + node->child->ref_name +
-                        " in " + name;
         out.push_back(std::move(t));
       }
       // Repetition merge: (X, C{0,n}) where X == body(C).
@@ -138,13 +198,11 @@ std::vector<Transformation> EnumerateTransformations(
           }
           TypePtr cbody = schema.Find(rep->child->ref_name);
           if (!cbody || !xs::TypeEqualsIgnoringStats(x, cbody)) continue;
-          Transformation t;
-          t.kind = Transformation::Kind::kRepetitionMerge;
+          TransformDescriptor t;
+          t.kind = TransformDescriptor::Kind::kRepetitionMerge;
           t.type_name = name;
           t.path = p;
           t.path.push_back(static_cast<int>(i));
-          t.description = "merge repetition of " + rep->child->ref_name +
-                          " in " + name;
           out.push_back(std::move(t));
         }
       }
@@ -153,13 +211,11 @@ std::vector<Transformation> EnumerateTransformations(
           node->kind == Type::Kind::kElement &&
           node->name.kind == xs::NameClass::Kind::kAny) {
         for (const auto& tag : options.wildcard_tags) {
-          Transformation t;
-          t.kind = Transformation::Kind::kWildcardMaterialize;
+          TransformDescriptor t;
+          t.kind = TransformDescriptor::Kind::kWildcardMaterialize;
           t.type_name = name;
           t.path = p;
           t.tag = tag;
-          t.description =
-              "materialize wildcard tag '" + tag + "' in " + name;
           out.push_back(std::move(t));
         }
       }

@@ -10,9 +10,12 @@
 
 namespace legodb::core {
 
-// One applicable schema rewriting (Section 4.1), reified so the search can
-// enumerate, describe, and apply candidate moves.
-struct Transformation {
+// One applicable schema rewriting (Section 4.1), reified as a lightweight
+// descriptor: transform kind + target type name + position parameters.
+// Enumeration produces only descriptors — no candidate schema is built
+// until a descriptor is applied — so the search can enumerate, dedupe, and
+// schedule candidate moves cheaply and materialize schemas on demand.
+struct TransformDescriptor {
   enum class Kind {
     kInline,               // elide a named type into its single use
     kOutline,              // give a nested element its own named type
@@ -29,8 +32,19 @@ struct Transformation {
   std::string type_name;   // the type whose body is rewritten (or inlined)
   ps::NodePath path;       // position inside the body (kind-dependent)
   std::string tag;         // kWildcardMaterialize: tag to materialize
-  std::string description;
+
+  // Compact canonical form, e.g. "outline:Show.0.2" — a stable identity
+  // for logs, dedupe keys, and metrics.
+  std::string Signature() const;
+
+  // Human-readable description resolved against the schema the descriptor
+  // was enumerated from (element names are looked up on demand rather than
+  // stored in every descriptor).
+  std::string Describe(const xs::Schema& schema) const;
 };
+
+// Legacy name, kept for call sites predating the descriptor refactor.
+using Transformation = TransformDescriptor;
 
 // Which rewritings the search may propose. The paper's greedy prototype
 // explores inlining/outlining; the other rewritings are explored separately
@@ -47,13 +61,14 @@ struct TransformOptions {
   std::vector<std::string> wildcard_tags;
 };
 
-// All single transformations applicable to `schema` (a p-schema).
-std::vector<Transformation> EnumerateTransformations(
+// Descriptors of all single transformations applicable to `schema` (a
+// p-schema). Cheap: no candidate schemas are materialized.
+std::vector<TransformDescriptor> EnumerateTransformations(
     const xs::Schema& schema, const TransformOptions& options);
 
-// Applies one transformation; the result is normalized back to a p-schema.
+// Applies one descriptor; the result is normalized back to a p-schema.
 StatusOr<xs::Schema> ApplyTransformation(const xs::Schema& schema,
-                                         const Transformation& t);
+                                         const TransformDescriptor& t);
 
 }  // namespace legodb::core
 

@@ -250,7 +250,7 @@ TEST_P(FuzzRoundTrip, TransformationsPreserveValidity) {
     auto out = core::ApplyTransformation(normalized, t);
     if (!out.ok()) continue;
     EXPECT_TRUE(xs::ValidateDocument(doc, out.value()).ok())
-        << t.description << "\nbefore:\n"
+        << t.Describe(normalized) << "\nbefore:\n"
         << normalized.ToString() << "\nafter:\n"
         << out->ToString() << "\ndoc:\n"
         << xml::Serialize(doc);

@@ -1,13 +1,25 @@
 // Tests for the greedy search (Algorithm 4.1), the cost function, workload
-// utilities, and the MappingEngine facade.
+// utilities, the candidate-evaluation pipeline (descriptors, fingerprint
+// cache, parallel costing), and the MappingEngine facade.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
+#include "auction/auction.h"
 #include "core/cost.h"
 #include "core/legodb.h"
 #include "core/search.h"
 #include "imdb/imdb.h"
+#include "mapping/mapping.h"
 #include "pschema/pschema.h"
+#include "translate/translate.h"
+#include "xml/dom.h"
+#include "xquery/parser.h"
 #include "xschema/annotate.h"
+#include "xschema/fingerprint.h"
+#include "xschema/schema_parser.h"
+#include "xschema/stats_collector.h"
 
 namespace legodb::core {
 namespace {
@@ -202,6 +214,168 @@ TEST(GreedySearchTest, StructuralMovesCanJoinTheSearch) {
   ASSERT_TRUE(rich.ok());
   EXPECT_LE(rich->best_cost, plain->best_cost * (1 + 1e-9));
   EXPECT_TRUE(ps::CheckPhysical(rich->best_schema).ok());
+}
+
+// ---- Candidate-evaluation pipeline ----
+
+// Regression for the pre-fingerprint cost-cache key. That key appended,
+// per touched table, the SUM of the per-column distinct counts (and null
+// fractions) to the translated SQL, so two configurations whose columns
+// merely swap their distinct counts produced byte-identical keys: the
+// second configuration costed would silently be served the first one's
+// cached cost. CostCacheFingerprint hashes every column individually.
+TEST(CostCacheTest, FingerprintSeparatesSwappedColumnStats) {
+  auto make = [](int x_distincts, int y_distincts) {
+    std::string text =
+        "type DB = db[ R*<#1000> ] "
+        "type R = r[ x[ String<#8,#" + std::to_string(x_distincts) +
+        "> ], y[ String<#8,#" + std::to_string(y_distincts) + "> ] ]";
+    auto parsed = xs::ParseSchema(text);
+    EXPECT_TRUE(parsed.ok());
+    return ps::Normalize(parsed.value());
+  };
+  xs::Schema a = make(400, 2);
+  xs::Schema b = make(2, 400);
+
+  auto map_a = map::MapSchema(a);
+  auto map_b = map::MapSchema(b);
+  ASSERT_TRUE(map_a.ok());
+  ASSERT_TRUE(map_b.ok());
+  auto query = xq::ParseQuery(
+      "FOR $v IN document(\"d\")/db/r WHERE $v/x = c1 RETURN $v/y");
+  ASSERT_TRUE(query.ok());
+  auto rq_a = xlat::TranslateQuery(query.value(), map_a.value());
+  auto rq_b = xlat::TranslateQuery(query.value(), map_b.value());
+  ASSERT_TRUE(rq_a.ok());
+  ASSERT_TRUE(rq_b.ok());
+
+  // Identical SQL, identical per-table distinct SUMS: exactly the inputs
+  // the old string key collapsed into one entry.
+  EXPECT_EQ(rq_a->ToSql(), rq_b->ToSql());
+  const rel::Table& ta = map_a->catalog().GetTable("R");
+  const rel::Table& tb = map_b->catalog().GetTable("R");
+  double sum_a = 0, sum_b = 0;
+  for (const auto& col : ta.columns) sum_a += col.distincts;
+  for (const auto& col : tb.columns) sum_b += col.distincts;
+  EXPECT_EQ(sum_a, sum_b);
+
+  // The fingerprints differ, and they had better: the two configurations
+  // genuinely cost differently (selectivity of x = c1 is 1/400 vs 1/2).
+  EXPECT_NE(CostCacheFingerprint(rq_a.value(), map_a->catalog()),
+            CostCacheFingerprint(rq_b.value(), map_b->catalog()));
+  Workload w;
+  ASSERT_TRUE(
+      w.Add("Q", "FOR $v IN document(\"d\")/db/r WHERE $v/x = c1 RETURN $v/y",
+            1.0)
+          .ok());
+  auto cost_a = CostSchema(a, w, opt::CostParams{});
+  auto cost_b = CostSchema(b, w, opt::CostParams{});
+  ASSERT_TRUE(cost_a.ok());
+  ASSERT_TRUE(cost_b.ok());
+  EXPECT_NE(cost_a->total, cost_b->total);
+}
+
+// Every (configuration, query) pair is either planned or served from the
+// fingerprint cache, exactly once — so the counters tie out against the
+// number of configurations costed, at any thread count. The obs counters
+// must agree with the SearchStats kept by the search itself.
+TEST(GreedySearchTest, StatsInvariantHoldsAtAnyThreadCount) {
+  opt::CostParams params;
+  Workload workload = Lookup();
+  for (int threads : {1, 4}) {
+    obs::Registry registry;
+    SearchStats stats;
+    {
+      obs::ScopedRegistry scoped(&registry);
+      SearchOptions options = GreedySoOptions();
+      options.threads = threads;
+      auto result = GreedySearch(AnnotatedImdb(), workload, params, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      stats = result->stats;
+    }
+    EXPECT_EQ(stats.threads_used, threads);
+    EXPECT_GT(stats.schemas_costed, 0);
+    EXPECT_GT(stats.descriptors_enumerated, 0);
+    EXPECT_EQ(stats.cost_evaluations + stats.cache_hits,
+              stats.schemas_costed *
+                  static_cast<int64_t>(workload.queries.size()))
+        << "threads=" << threads;
+
+    obs::Report report = registry.Snapshot();
+    EXPECT_EQ(report.CounterValue("search.cost_evaluations"),
+              stats.cost_evaluations);
+    EXPECT_EQ(report.CounterValue("search.cache_hits"), stats.cache_hits);
+    EXPECT_EQ(report.CounterValue("search.schemas_costed"),
+              stats.schemas_costed);
+    EXPECT_EQ(report.CounterValue("search.descriptors_enumerated"),
+              stats.descriptors_enumerated);
+    EXPECT_EQ(report.CounterValue("search.dedup_hits"), stats.dedup_hits);
+  }
+}
+
+// The search result must be identical for every thread count: same best
+// schema, same cost, same iteration log (modulo wall-clock fields).
+void ExpectIdenticalSearches(const SearchResult& serial,
+                             const SearchResult& parallel) {
+  EXPECT_EQ(serial.best_schema.ToString(), parallel.best_schema.ToString());
+  EXPECT_EQ(xs::FingerprintSchema(serial.best_schema),
+            xs::FingerprintSchema(parallel.best_schema));
+  EXPECT_DOUBLE_EQ(serial.best_cost, parallel.best_cost);
+  ASSERT_EQ(serial.trace.size(), parallel.trace.size());
+  for (size_t i = 0; i < serial.trace.size(); ++i) {
+    EXPECT_EQ(serial.trace[i].iteration, parallel.trace[i].iteration);
+    EXPECT_DOUBLE_EQ(serial.trace[i].cost, parallel.trace[i].cost);
+    EXPECT_EQ(serial.trace[i].applied, parallel.trace[i].applied) << i;
+    EXPECT_EQ(serial.trace[i].candidates, parallel.trace[i].candidates);
+    EXPECT_EQ(serial.trace[i].descriptors, parallel.trace[i].descriptors);
+  }
+}
+
+TEST(GreedySearchTest, DeterministicAcrossThreadCountsImdb) {
+  opt::CostParams params;
+  xs::Schema annotated = AnnotatedImdb();
+  Workload workload = Lookup();
+  // Beam > 1 exercises the multi-entry frontier, where nondeterministic
+  // candidate ordering would be most visible.
+  SearchOptions serial_options = GreedySoOptions();
+  serial_options.beam_width = 2;
+  serial_options.threads = 1;
+  SearchOptions parallel_options = serial_options;
+  parallel_options.threads = 8;
+  auto serial = GreedySearch(annotated, workload, params, serial_options);
+  auto parallel = GreedySearch(annotated, workload, params, parallel_options);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->stats.threads_used, 1);
+  EXPECT_EQ(parallel->stats.threads_used, 8);
+  ExpectIdenticalSearches(serial.value(), parallel.value());
+}
+
+TEST(GreedySearchTest, DeterministicAcrossThreadCountsAuction) {
+  // Second corpus: the auction schema annotated with stats collected from
+  // a generated document, searched under the bidding workload.
+  auto schema = auction::Schema();
+  ASSERT_TRUE(schema.ok());
+  xml::Document doc = auction::Generate(auction::AuctionScale{});
+  xs::StatsCollector collector;
+  collector.AddDocument(doc);
+  xs::Schema annotated =
+      xs::AnnotateSchema(schema.value(), collector.Finish());
+  auto workload = auction::MakeWorkload("bidding");
+  ASSERT_TRUE(workload.ok());
+
+  opt::CostParams params;
+  SearchOptions serial_options = GreedySiOptions();
+  serial_options.threads = 1;
+  SearchOptions parallel_options = serial_options;
+  parallel_options.threads = 8;
+  auto serial =
+      GreedySearch(annotated, workload.value(), params, serial_options);
+  auto parallel =
+      GreedySearch(annotated, workload.value(), params, parallel_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalSearches(serial.value(), parallel.value());
 }
 
 // ---- MappingEngine facade ----

@@ -3,6 +3,9 @@
 // union-to-options) preserves the set of valid documents.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/transforms.h"
 #include "imdb/imdb.h"
 #include "pschema/pschema.h"
@@ -206,8 +209,12 @@ TEST(Enumeration, RootTypeNeverDistributed) {
 
 TEST(Enumeration, DescriptionsAreInformative) {
   Schema s = ps::Normalize(*imdb::Schema());
+  std::set<std::string> signatures;
   for (const auto& t : Enumerate(s)) {
-    EXPECT_FALSE(t.description.empty());
+    EXPECT_FALSE(t.Describe(s).empty());
+    EXPECT_FALSE(t.Signature().empty());
+    // Signatures are a stable identity: distinct descriptors, distinct keys.
+    EXPECT_TRUE(signatures.insert(t.Signature()).second) << t.Signature();
   }
 }
 
@@ -231,9 +238,9 @@ TEST(Preservation, AllTransformationsPreserveImdbValidity) {
     auto out = ApplyTransformation(s, t);
     if (!out.ok()) continue;  // some enumerated moves can be inapplicable
     ++applied;
-    EXPECT_TRUE(ps::CheckPhysical(out.value()).ok()) << t.description;
+    EXPECT_TRUE(ps::CheckPhysical(out.value()).ok()) << t.Describe(s);
     EXPECT_TRUE(xs::ValidateDocument(doc, out.value()).ok())
-        << t.description << "\n"
+        << t.Describe(s) << "\n"
         << out->ToString();
   }
   EXPECT_GT(applied, 10);
@@ -255,9 +262,10 @@ TEST(Preservation, ChainsOfTransformationsPreserveValidity) {
     const Transformation& t = ts[(step * 7) % ts.size()];
     auto out = ApplyTransformation(s, t);
     if (!out.ok()) continue;
+    std::string desc = t.Describe(s);
     s = std::move(out).value();
     ASSERT_TRUE(xs::ValidateDocument(doc, s).ok())
-        << "after step " << step << ": " << t.description;
+        << "after step " << step << ": " << desc;
   }
 }
 

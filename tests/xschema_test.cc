@@ -6,6 +6,7 @@
 #include "imdb/imdb.h"
 #include "xml/parser.h"
 #include "xschema/annotate.h"
+#include "xschema/fingerprint.h"
 #include "xschema/schema.h"
 #include "xschema/schema_parser.h"
 #include "xschema/stats.h"
@@ -509,5 +510,60 @@ TEST(Annotate, CollectorDrivenAnnotationIsConsistent) {
   EXPECT_LE(title->child->scalar_stats.distincts, 30);
 }
 
+// ---- Schema fingerprints ----
+
+TEST(Fingerprint, StableAcrossIdenticalParses) {
+  auto a = ParseSchema(imdb::SchemaText());
+  auto b = ParseSchema(imdb::SchemaText());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(FingerprintSchema(a.value()), FingerprintSchema(b.value()));
+  EXPECT_EQ(FingerprintType(a->Get("Show")), FingerprintType(b->Get("Show")));
+}
+
+TEST(Fingerprint, SensitiveToStructureNamesAndStats) {
+  auto base = ParseSchema("type R = r[ a[ String<#8,#100> ], B* ] "
+                          "type B = b[ Integer<#4,#0,#9,#10> ]");
+  ASSERT_TRUE(base.ok());
+  uint64_t fp = FingerprintSchema(base.value());
+
+  // A statistics-only change (distincts 100 -> 101) changes the print AND
+  // the fingerprint: stats feed the cost model.
+  auto stats = ParseSchema("type R = r[ a[ String<#8,#101> ], B* ] "
+                           "type B = b[ Integer<#4,#0,#9,#10> ]");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(fp, FingerprintSchema(stats.value()));
+
+  // A structural change (a -> a?) changes the fingerprint.
+  auto opt = ParseSchema("type R = r[ a[ String<#8,#100> ]?, B* ] "
+                         "type B = b[ Integer<#4,#0,#9,#10> ]");
+  ASSERT_TRUE(opt.ok());
+  EXPECT_NE(fp, FingerprintSchema(opt.value()));
+
+  // A renamed type changes the fingerprint (names become relations).
+  auto renamed = ParseSchema("type R = r[ a[ String<#8,#100> ], C* ] "
+                             "type C = b[ Integer<#4,#0,#9,#10> ]");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_NE(fp, FingerprintSchema(renamed.value()));
+}
+
+TEST(Fingerprint, IgnoresUnreachableAndDeclarationOrder) {
+  auto base = ParseSchema("type R = r[ A ] type A = a[ String ]");
+  ASSERT_TRUE(base.ok());
+
+  // An unreachable definition does not affect the fingerprint.
+  Schema with_junk = base.value();
+  with_junk.Define("Junk", Type::Element("junk", Type::String()));
+  EXPECT_EQ(FingerprintSchema(base.value()), FingerprintSchema(with_junk));
+
+  // Reordered declarations (same root) fingerprint identically.
+  Schema reordered;
+  reordered.Define("A", base->Get("A"));
+  reordered.Define("R", base->Get("R"));
+  reordered.set_root_type("R");
+  EXPECT_EQ(FingerprintSchema(base.value()), FingerprintSchema(reordered));
+}
+
 }  // namespace
 }  // namespace legodb::xs
+

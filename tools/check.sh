@@ -4,8 +4,26 @@
 #
 #   tools/check.sh                           # plain build + tests
 #   tools/check.sh -DLEGODB_SANITIZE=address # ASan build + tests
+#   tools/check.sh --tsan                    # TSan pass over the parallel
+#                                            # candidate-evaluation path
+#
+# --tsan builds into build-tsan with -DLEGODB_SANITIZE=thread and runs the
+# tests exercising the parallel search (search_test, plus the transform and
+# pipeline suites that feed it) with halt_on_error=1, so any reported data
+# race fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  shift
+  cmake -B build-tsan -S . -DLEGODB_SANITIZE=thread "$@"
+  cmake --build build-tsan -j"$(nproc)" --target \
+    search_test transforms_test pipeline_test
+  export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+  ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+    -R 'search_test|transforms_test|pipeline_test'
+  exit 0
+fi
 
 cmake -B build -S . "$@"
 cmake --build build -j"$(nproc)"

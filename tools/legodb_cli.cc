@@ -4,8 +4,8 @@
 //   legodb --schema schema.xalg --stats stats.st
 //          --query 'Q1:0.4:FOR $v IN ...' [--query ...]
 //          [--update 'add_review:2.0:imdb/show/reviews']
-//          [--start so|si] [--beam N] [--threshold F] [--explain]
-//          [--explain-search] [--trace] [--metrics-out=FILE]
+//          [--start so|si] [--beam N] [--threads N] [--threshold F]
+//          [--explain] [--explain-search] [--trace] [--metrics-out=FILE]
 //   legodb --demo imdb|auction       # run on the built-in applications
 //
 // Prints the search summary, the chosen physical XML schema and the derived
@@ -60,7 +60,7 @@ int Usage() {
       stderr,
       "usage: legodb --schema FILE --stats FILE --query NAME:W:XQUERY...\n"
       "              [--update NAME:W:path/to/element]... [--start so|si]\n"
-      "              [--beam N] [--threshold F] [--explain]\n"
+      "              [--beam N] [--threads N] [--threshold F] [--explain]\n"
       "              [--explain-search] [--trace] [--metrics-out=FILE]\n"
       "       legodb --demo imdb|auction [--explain] [--explain-search]\n"
       "              [--trace] [--metrics-out=FILE]\n");
@@ -139,6 +139,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       options.beam_width = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.threads = std::atoi(v);
     } else if (arg == "--threshold") {
       const char* v = next();
       if (!v) return Usage();
