@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace legodb::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const char* message) {
+  std::fprintf(stderr, "LEGODB_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, (message != nullptr && message[0] != '\0') ? ": " : "",
+               message != nullptr ? message : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace legodb::internal

@@ -1,0 +1,48 @@
+#ifndef LEGODB_COMMON_CHECK_H_
+#define LEGODB_COMMON_CHECK_H_
+
+// Invariant-checking macros that stay armed in every build mode.
+//
+// The repo historically used bare `assert`, which `-DNDEBUG` (any Release
+// build) compiles out entirely: a duplicate-table insert or unknown-type
+// lookup would silently read past the checked state instead of stopping.
+// These macros follow the LevelDB/RocksDB convention:
+//
+//  - LEGODB_CHECK(cond[, "msg"])   — evaluated in ALL builds; prints the
+//    failed expression with file:line and aborts. Use for cheap invariants
+//    whose violation means memory-unsafe behaviour would follow.
+//  - LEGODB_DCHECK(cond[, "msg"])  — debug builds only; compiles to a
+//    no-op (that still type-checks `cond`) under NDEBUG. Use for expensive
+//    validation passes on hot paths.
+//
+// Recoverable conditions — anything reachable from unvalidated input —
+// should return Status instead of using either macro.
+
+namespace legodb::internal {
+
+// Prints "LEGODB_CHECK failed: <expr> at <file>:<line>: <msg>" and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* message);
+
+}  // namespace legodb::internal
+
+#define LEGODB_CHECK(cond, ...)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::legodb::internal::CheckFailed(__FILE__, __LINE__, #cond,     \
+                                      "" __VA_ARGS__);               \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define LEGODB_DCHECK(cond, ...) \
+  do {                           \
+    if (false) {                 \
+      (void)(cond);              \
+    }                            \
+  } while (0)
+#else
+#define LEGODB_DCHECK(...) LEGODB_CHECK(__VA_ARGS__)
+#endif
+
+#endif  // LEGODB_COMMON_CHECK_H_

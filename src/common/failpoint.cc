@@ -1,0 +1,214 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace legodb::fp {
+namespace {
+
+struct Site {
+  enum class Mode { kAlways, kNthOnly, kFromNth, kProbability };
+  Mode mode = Mode::kAlways;
+  int64_t n = 1;         // for kNthOnly / kFromNth (1-based)
+  double probability = 0;  // for kProbability
+  uint64_t seed = 0;       // for kProbability
+  std::atomic<int64_t> hits{0};
+
+  bool Fire(int64_t hit_index) const {
+    switch (mode) {
+      case Mode::kAlways:
+        return true;
+      case Mode::kNthOnly:
+        return hit_index == n;
+      case Mode::kFromNth:
+        return hit_index >= n;
+      case Mode::kProbability: {
+        // Pure function of (seed, hit index): replays deterministically.
+        uint64_t h = common::HashCombine(common::Mix64(seed),
+                                         static_cast<uint64_t>(hit_index));
+        double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return u < probability;
+      }
+    }
+    return false;
+  }
+};
+
+struct RegistryState {
+  std::mutex mu;
+  // unique_ptr: Site addresses stay stable while the mutex is released.
+  std::map<std::string, std::unique_ptr<Site>> sites;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+// Armed-site count, mirrored outside the mutex for the fast path.
+std::atomic<int> g_active{0};
+
+Status ParseTerm(const std::string& term) {
+  std::string name = term;
+  std::unique_ptr<Site> site(new Site());
+  size_t eq = term.find('=');
+  if (eq != std::string::npos) {
+    name = term.substr(0, eq);
+    std::string arg = term.substr(eq + 1);
+    if (arg.empty()) {
+      return Status::InvalidArgument("failpoint term '" + term +
+                                     "': empty argument");
+    }
+    if (arg[0] == 'p') {
+      size_t at = arg.find('@');
+      char* end = nullptr;
+      std::string prob = at == std::string::npos ? arg.substr(1)
+                                                 : arg.substr(1, at - 1);
+      site->mode = Site::Mode::kProbability;
+      site->probability = std::strtod(prob.c_str(), &end);
+      if (end == prob.c_str() || *end != '\0' || site->probability < 0 ||
+          site->probability > 1) {
+        return Status::InvalidArgument("failpoint term '" + term +
+                                       "': bad probability");
+      }
+      if (at != std::string::npos) {
+        site->seed = std::strtoull(arg.c_str() + at + 1, &end, 10);
+        if (*end != '\0') {
+          return Status::InvalidArgument("failpoint term '" + term +
+                                         "': bad seed");
+        }
+      }
+    } else {
+      bool from_nth = !arg.empty() && arg.back() == '+';
+      if (from_nth) arg.pop_back();
+      char* end = nullptr;
+      site->n = std::strtoll(arg.c_str(), &end, 10);
+      if (end == arg.c_str() || *end != '\0' || site->n < 1) {
+        return Status::InvalidArgument("failpoint term '" + term +
+                                       "': bad hit count");
+      }
+      site->mode = from_nth ? Site::Mode::kFromNth : Site::Mode::kNthOnly;
+    }
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint term '" + term +
+                                   "': empty site name");
+  }
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto [it, inserted] = state.sites.emplace(name, nullptr);
+  if (inserted) g_active.fetch_add(1, std::memory_order_relaxed);
+  it->second = std::move(site);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Enable(const std::string& spec) {
+  for (const std::string& raw : StrSplit(spec, ';')) {
+    for (const std::string& term : StrSplit(raw, ',')) {
+      std::string trimmed(StrTrim(term));
+      if (trimmed.empty()) continue;
+      LEGODB_RETURN_IF_ERROR(ParseTerm(trimmed));
+    }
+  }
+  return Status::OK();
+}
+
+void Disable(const std::string& site) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.sites.erase(site) > 0) {
+    g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisableAll() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  g_active.fetch_sub(static_cast<int>(state.sites.size()),
+                     std::memory_order_relaxed);
+  state.sites.clear();
+}
+
+bool AnyActive() { return g_active.load(std::memory_order_relaxed) > 0; }
+
+bool Triggered(const char* site) {
+  if (!AnyActive()) return false;
+  RegistryState& state = State();
+  Site* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.sites.find(site);
+    if (it == state.sites.end()) return false;
+    s = it->second.get();
+  }
+  // Sites are only removed under the mutex, but the Site object (owned by
+  // unique_ptr) must not be used after Disable; callers disarm sites only
+  // when the code under test is quiescent, matching RocksDB's contract.
+  int64_t hit = s->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  return s->Fire(hit);
+}
+
+int64_t HitCount(const std::string& site) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.sites.find(site);
+  return it == state.sites.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> ActiveSites() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::string> names;
+  names.reserve(state.sites.size());
+  for (const auto& [name, site] : state.sites) names.push_back(name);
+  return names;
+}
+
+void EnableFromEnvOnce() {
+  static const Status status = [] {
+    const char* spec = std::getenv("LEGODB_FAILPOINTS");
+    return spec != nullptr ? Enable(spec) : Status::OK();
+  }();
+  (void)status;  // a malformed env spec arms nothing (prefix may apply)
+}
+
+Status Check(const char* site) {
+  if (Triggered(site)) {
+    return Status::Internal(std::string("failpoint ") + site + " fired");
+  }
+  return Status::OK();
+}
+
+ScopedFailpoints::ScopedFailpoints(const std::string& spec) {
+  // Track which sites this scope arms so destruction disarms exactly them
+  // (pre-existing sites with the same name are replaced, then removed —
+  // scopes are not expected to nest over the same site).
+  status_ = Enable(spec);
+  if (status_.ok()) {
+    for (const std::string& raw : StrSplit(spec, ';')) {
+      for (const std::string& term : StrSplit(raw, ',')) {
+        std::string trimmed(StrTrim(term));
+        if (trimmed.empty()) continue;
+        size_t eq = trimmed.find('=');
+        sites_.push_back(eq == std::string::npos ? trimmed
+                                                 : trimmed.substr(0, eq));
+      }
+    }
+  }
+}
+
+ScopedFailpoints::~ScopedFailpoints() {
+  for (const std::string& site : sites_) Disable(site);
+}
+
+}  // namespace legodb::fp

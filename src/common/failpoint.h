@@ -1,0 +1,93 @@
+#ifndef LEGODB_COMMON_FAILPOINT_H_
+#define LEGODB_COMMON_FAILPOINT_H_
+
+// Deterministic fault-injection framework in the RocksDB
+// SyncPoint/fail_point style. Production code declares named injection
+// sites; tests (or the `--failpoints` CLI flag / LEGODB_FAILPOINTS env
+// var) arm a subset of them, forcing rare error paths without mocks.
+//
+// A spec is a ';'- or ','-separated list of terms:
+//
+//   site          fire on every hit
+//   site=N        fire on the Nth hit only (1-based)
+//   site=N+       fire on the Nth hit and every later one
+//   site=pP@S     fire with probability P in [0,1], seeded by integer S;
+//                 the decision is a pure function of (S, hit index), so a
+//                 given hit sequence replays bit-for-bit
+//
+// Hit indices are assigned by one atomic counter per site, so count-based
+// terms are deterministic for a fixed total hit order (serial execution);
+// under a thread pool the *total* number of fired hits is deterministic
+// but which worker observes the firing hit is not. Sites carry no cost
+// while the registry is empty: LEGODB_FAILPOINT compiles to one relaxed
+// atomic load.
+//
+// The site catalog lives in DESIGN.md §8 (Robustness).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace legodb::fp {
+
+// Arms every term of `spec`. Terms accumulate across calls; re-arming a
+// site replaces its term and resets its hit counter.
+Status Enable(const std::string& spec);
+
+// Disarms one site / every site.
+void Disable(const std::string& site);
+void DisableAll();
+
+// True when at least one site is armed (single relaxed atomic load).
+bool AnyActive();
+
+// Records a hit at `site` and returns true when it fires. No-op (false)
+// when the site is not armed.
+bool Triggered(const char* site);
+
+// Hits observed at `site` since it was armed; 0 when not armed.
+int64_t HitCount(const std::string& site);
+
+// Names of the currently armed sites, sorted.
+std::vector<std::string> ActiveSites();
+
+// Arms the LEGODB_FAILPOINTS environment variable's spec, once per
+// process. Safe to call from multiple entry points.
+void EnableFromEnvOnce();
+
+// Status-shaped hit: Internal("failpoint <site> fired") when it fires.
+Status Check(const char* site);
+
+// RAII activation for one scope (e.g. one search run): arms `spec` on
+// construction and disarms exactly those sites on destruction.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& spec);
+  ~ScopedFailpoints();
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+
+  // Parse/validation result of the spec ("" arms nothing and is OK).
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+  std::vector<std::string> sites_;
+};
+
+}  // namespace legodb::fp
+
+// Error-injection point for Status-returning (or StatusOr-returning)
+// functions: returns Internal from the enclosing function when the site
+// fires. Free when no failpoint is armed.
+#define LEGODB_FAILPOINT(site)                              \
+  do {                                                      \
+    if (::legodb::fp::AnyActive()) {                        \
+      ::legodb::Status _fp_st = ::legodb::fp::Check(site);  \
+      if (!_fp_st.ok()) return _fp_st;                      \
+    }                                                       \
+  } while (0)
+
+#endif  // LEGODB_COMMON_FAILPOINT_H_

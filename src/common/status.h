@@ -1,10 +1,11 @@
 #ifndef LEGODB_COMMON_STATUS_H_
 #define LEGODB_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace legodb {
 
@@ -56,28 +57,30 @@ class Status {
 };
 
 // Holds either a value of type T or an error Status. Accessing the value of
-// an error result aborts (programming error).
+// an error result aborts in every build mode (programming error): the
+// checks below are LEGODB_CHECK, not assert, so an unexamined error cannot
+// silently dereference an empty optional under NDEBUG.
 template <typename T>
 class StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status");
+    LEGODB_CHECK(!status_.ok(), "StatusOr constructed from OK status");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    LEGODB_CHECK(ok(), "StatusOr::value called on error");
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    LEGODB_CHECK(ok(), "StatusOr::value called on error");
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    LEGODB_CHECK(ok(), "StatusOr::value called on error");
     return std::move(*value_);
   }
 

@@ -7,7 +7,7 @@
 namespace legodb::core {
 
 std::string ExplainSearchTable(const SearchResult& result) {
-  TablePrinter table({"iter", "cost", "descriptors", "candidates",
+  TablePrinter table({"iter", "cost", "descriptors", "candidates", "failed",
                       "elapsed_ms", "speedup", "transformation"});
   for (const auto& step : result.trace) {
     double speedup =
@@ -15,12 +15,17 @@ std::string ExplainSearchTable(const SearchResult& result) {
     table.AddRow({std::to_string(step.iteration), FormatDouble(step.cost, 1),
                   std::to_string(step.descriptors),
                   std::to_string(step.candidates),
+                  std::to_string(step.failed),
                   FormatDouble(step.elapsed_ms, 2),
                   step.iteration == 0 ? "-" : FormatDouble(speedup, 2) + "x",
                   step.applied.empty() ? "(initial configuration)"
                                        : step.applied});
   }
-  return table.ToString();
+  std::string out = table.ToString();
+  if (result.degraded) {
+    out += "degraded: " + result.degraded_reason + "\n";
+  }
+  return out;
 }
 
 double CacheHitRate(const SearchStats& stats) {
@@ -48,7 +53,13 @@ std::string SearchSummary(const SearchResult& result) {
       static_cast<long long>(result.stats.cache_hits),
       100.0 * CacheHitRate(result.stats), result.stats.threads_used,
       result.stats.threads_used == 1 ? "" : "s");
-  return buf;
+  std::string out = buf;
+  if (result.stats.candidates_failed > 0) {
+    out += ", " + std::to_string(result.stats.candidates_failed) +
+           " candidate(s) skipped";
+  }
+  if (result.degraded) out += " [degraded: " + result.degraded_reason + "]";
+  return out;
 }
 
 }  // namespace legodb::core

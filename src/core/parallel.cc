@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "obs/obs.h"
 
 namespace legodb::core {
@@ -16,19 +17,24 @@ int ResolveThreads(int requested) {
 }
 
 void ParallelFor(size_t n, int threads,
-                 const std::function<void(size_t)>& fn) {
+                 const std::function<void(size_t)>& fn, CancelToken* cancel) {
   if (n == 0) return;
   int workers = std::min<size_t>(static_cast<size_t>(std::max(1, threads)), n);
+  if (workers > 1 && fp::Triggered("parallel.force_serial")) workers = 1;
   if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }
     return;
   }
   obs::Registry* registry = obs::Current();
   std::atomic<size_t> next{0};
   auto worker = [&]() {
     obs::ScopedRegistry scoped(registry);
-    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
+    while (cancel == nullptr || !cancel->cancelled()) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
       fn(i);
     }
   };

@@ -1,6 +1,7 @@
 #ifndef LEGODB_CORE_PARALLEL_H_
 #define LEGODB_CORE_PARALLEL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 
@@ -10,16 +11,41 @@ namespace legodb::core {
 // "one worker per hardware thread" (never less than 1).
 int ResolveThreads(int requested);
 
+// Cooperative cancellation flag shared between a ParallelFor caller and its
+// workers. Cancel() stops workers from *claiming* further indices; the
+// task currently inside fn runs to completion (fn may also poll
+// cancelled() itself to stop early). Cheap enough to poll per index.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
 // Runs fn(0) ... fn(n-1), distributing indices over at most `threads`
 // workers (atomic work-stealing counter). With threads <= 1 or n <= 1 the
 // calls run inline on the calling thread, in index order — the serial path
 // has no pool, no locks, and no reordering.
 //
+// When `cancel` is non-null, every worker checks it before claiming each
+// index and stops claiming once it is cancelled: indices not yet claimed
+// are never run. Cancellation is cooperative and therefore racy by design;
+// callers must treat "fn(i) never ran" as a legal outcome for any i.
+//
 // Each worker installs the calling thread's ambient obs registry, so
 // counters/histograms recorded inside fn accumulate into the same registry
 // regardless of thread count. `fn` must be safe to invoke concurrently;
 // exceptions must not escape it.
-void ParallelFor(size_t n, int threads, const std::function<void(size_t)>& fn);
+//
+// Failpoint "parallel.force_serial" (see common/failpoint.h) degrades the
+// pool to serial in-order execution, for reproducing pool-starvation
+// scenarios in tests.
+void ParallelFor(size_t n, int threads, const std::function<void(size_t)>& fn,
+                 CancelToken* cancel = nullptr);
 
 }  // namespace legodb::core
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "core/parallel.h"
 #include "obs/obs.h"
@@ -89,6 +90,7 @@ class CachedCoster {
   }
 
   StatusOr<double> Cost(const xs::Schema& pschema) {
+    LEGODB_FAILPOINT("search.cost_schema");
     schemas_costed_.fetch_add(1, std::memory_order_relaxed);
     obs::Count("search.schemas_costed");
     LEGODB_ASSIGN_OR_RETURN(map::Mapping mapping, map::MapSchema(pschema));
@@ -163,6 +165,12 @@ struct CandidateItem {
   uint64_t fingerprint = 0;
   bool unique = false;  // survived fingerprint dedupe
   std::optional<double> cost;  // set when costing succeeded
+  // Evaluation-guard bookkeeping: a phase that ran but produced no result
+  // is a skipped candidate (counted, never fatal); a phase that never ran
+  // (wall-clock cancellation) is neither.
+  bool apply_attempted = false;
+  bool cost_attempted = false;
+  std::string error;  // first error seen for this candidate
 };
 
 }  // namespace
@@ -171,8 +179,16 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
                                     const Workload& workload,
                                     const opt::CostParams& params,
                                     const SearchOptions& options) {
+  fp::EnableFromEnvOnce();
+  fp::ScopedFailpoints scoped_failpoints(options.failpoints);
+  LEGODB_RETURN_IF_ERROR(scoped_failpoints.status());
   obs::Span search_span("search");
   int64_t phase_start = obs::NowNanos();
+  const int64_t deadline_ns =
+      options.budget_ms > 0 ? phase_start + options.budget_ms * 1000000 : 0;
+  auto past_deadline = [deadline_ns]() {
+    return deadline_ns != 0 && obs::NowNanos() >= deadline_ns;
+  };
   xs::Schema initial;
   switch (options.start) {
     case SearchOptions::Start::kAllInlined:
@@ -204,10 +220,23 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
   std::set<uint64_t> seen = {xs::FingerprintSchema(best_schema)};
 
   result.trace.push_back(SearchResult::IterationLog{
-      0, best_cost, "", 0, 0,
+      0, best_cost, "", 0, 0, 0,
       static_cast<double>(obs::NowNanos() - phase_start) / 1e6, 0});
 
+  // "" while the search is on the clean Algorithm-4.1 path; set to the
+  // degradation reason when a budget runs out. Convergence ("no neighbor
+  // improves") is the only non-degraded way out of the loop.
+  std::string stop_reason;
+  std::string first_error;  // first skipped candidate's error, for diagnosis
+  bool converged = false;
+  int64_t candidates_budgeted = 0;  // against options.max_candidates
+
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (past_deadline()) {
+      stop_reason = "wall-clock budget (" +
+                    std::to_string(options.budget_ms) + "ms) exhausted";
+      break;
+    }
     obs::Span iter_span("search.iteration");
     int64_t iter_start = obs::NowNanos();
     obs::Count("search.iterations");
@@ -230,18 +259,31 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
                static_cast<int64_t>(items.size()));
 
     // Phase A (parallel): apply each descriptor and fingerprint the
-    // resulting schema.
+    // resulting schema. The evaluation guard turns a transform failure on
+    // one neighbor into a skipped candidate; the wall-clock deadline
+    // cancels workers cooperatively (unclaimed candidates never run).
     std::atomic<int64_t> work_ns{0};
-    ParallelFor(items.size(), threads, [&](size_t k) {
-      int64_t t0 = obs::NowNanos();
-      CandidateItem& item = items[k];
-      auto next = ApplyTransformation(beam[item.entry].schema, item.desc);
-      if (next.ok()) {
-        item.fingerprint = xs::FingerprintSchema(next.value());
-        item.schema = std::move(next).value();
-      }
-      work_ns.fetch_add(obs::NowNanos() - t0, std::memory_order_relaxed);
-    });
+    CancelToken cancel;
+    ParallelFor(
+        items.size(), threads,
+        [&](size_t k) {
+          if (past_deadline()) {
+            cancel.Cancel();
+            return;
+          }
+          int64_t t0 = obs::NowNanos();
+          CandidateItem& item = items[k];
+          item.apply_attempted = true;
+          auto next = ApplyTransformation(beam[item.entry].schema, item.desc);
+          if (next.ok()) {
+            item.fingerprint = xs::FingerprintSchema(next.value());
+            item.schema = std::move(next).value();
+          } else {
+            item.error = next.status().ToString();
+          }
+          work_ns.fetch_add(obs::NowNanos() - t0, std::memory_order_relaxed);
+        },
+        &cancel);
 
     // Dedupe sequentially in descriptor order, so the surviving candidate
     // for any fingerprint is the same at every thread count.
@@ -255,26 +297,61 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
       }
     }
 
-    // Phase B (parallel): cost the surviving candidates.
+    // Phase B (parallel): cost the surviving candidates, truncated to the
+    // remaining candidate budget. Truncation happens on the
+    // deterministically ordered todo list, so a candidate budget yields
+    // bit-for-bit identical results at every thread count.
     std::vector<size_t> todo;
     for (size_t k = 0; k < items.size(); ++k) {
       if (items[k].unique) todo.push_back(k);
     }
-    ParallelFor(todo.size(), threads, [&](size_t j) {
-      int64_t t0 = obs::NowNanos();
-      CandidateItem& item = items[todo[j]];
-      auto cost = coster.Cost(*item.schema);
-      if (cost.ok()) item.cost = *cost;
-      work_ns.fetch_add(obs::NowNanos() - t0, std::memory_order_relaxed);
-    });
+    bool candidate_budget_hit = false;
+    if (options.max_candidates > 0) {
+      int64_t remaining = options.max_candidates - candidates_budgeted;
+      if (remaining < static_cast<int64_t>(todo.size())) {
+        candidate_budget_hit = true;
+        todo.resize(remaining > 0 ? static_cast<size_t>(remaining) : 0);
+      }
+    }
+    candidates_budgeted += static_cast<int64_t>(todo.size());
+    ParallelFor(
+        todo.size(), threads,
+        [&](size_t j) {
+          if (past_deadline()) {
+            cancel.Cancel();
+            return;
+          }
+          int64_t t0 = obs::NowNanos();
+          CandidateItem& item = items[todo[j]];
+          item.cost_attempted = true;
+          auto cost = coster.Cost(*item.schema);
+          if (cost.ok()) {
+            item.cost = *cost;
+          } else if (item.error.empty()) {
+            item.error = cost.status().ToString();
+          }
+          work_ns.fetch_add(obs::NowNanos() - t0, std::memory_order_relaxed);
+        },
+        &cancel);
 
     // Select sequentially in descriptor order: identical results and tie
-    // breaks regardless of thread count.
+    // breaks regardless of thread count. An attempted candidate without a
+    // result was skipped on error; count it (an unattempted one was merely
+    // cancelled and counts toward nothing).
     std::vector<BeamEntry> expanded;
     const CandidateItem* best_item = nullptr;
     double iter_best = std::numeric_limits<double>::infinity();
     int evaluated = 0;
+    int failed = 0;
     for (auto& item : items) {
+      if ((item.apply_attempted && !item.schema) ||
+          (item.cost_attempted && !item.cost)) {
+        ++failed;
+        if (first_error.empty() && !item.error.empty()) {
+          first_error = item.error;
+        }
+        continue;
+      }
       if (!item.cost) continue;
       ++evaluated;
       if (*item.cost < iter_best) {
@@ -283,7 +360,9 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
       }
       expanded.push_back(BeamEntry{std::move(*item.schema), *item.cost});
     }
+    result.stats.candidates_failed += failed;
     obs::Count("search.candidates_evaluated", evaluated);
+    if (failed > 0) obs::Count("search.candidates_failed", failed);
     double iter_work_ms = static_cast<double>(work_ns.load()) / 1e6;
     double iter_elapsed_ms =
         static_cast<double>(obs::NowNanos() - iter_start) / 1e6;
@@ -292,25 +371,63 @@ StatusOr<SearchResult> GreedySearch(const xs::Schema& annotated_schema,
                    iter_work_ms / iter_elapsed_ms);
     }
     double threshold = best_cost * (1.0 - options.min_relative_improvement);
-    if (evaluated == 0 || iter_best >= threshold) break;
-
-    std::string best_move =
-        best_item->desc.Describe(beam[best_item->entry].schema);
-    std::sort(expanded.begin(), expanded.end(),
-              [](const BeamEntry& a, const BeamEntry& b) {
-                return a.cost < b.cost;
-              });
-    if (static_cast<int>(expanded.size()) > beam_width) {
-      expanded.resize(static_cast<size_t>(beam_width));
+    bool improved = evaluated > 0 && iter_best < threshold;
+    if (improved) {
+      std::string best_move =
+          best_item->desc.Describe(beam[best_item->entry].schema);
+      std::sort(expanded.begin(), expanded.end(),
+                [](const BeamEntry& a, const BeamEntry& b) {
+                  return a.cost < b.cost;
+                });
+      if (static_cast<int>(expanded.size()) > beam_width) {
+        expanded.resize(static_cast<size_t>(beam_width));
+      }
+      beam = std::move(expanded);
+      best_cost = beam[0].cost;
+      best_schema = beam[0].schema;
+      result.trace.push_back(SearchResult::IterationLog{
+          iter, best_cost, best_move, evaluated,
+          static_cast<int>(items.size()), failed,
+          static_cast<double>(obs::NowNanos() - iter_start) / 1e6,
+          iter_work_ms});
     }
-    beam = std::move(expanded);
-    best_cost = beam[0].cost;
-    best_schema = beam[0].schema;
-    result.trace.push_back(SearchResult::IterationLog{
-        iter, best_cost, best_move, evaluated,
-        static_cast<int>(items.size()),
-        static_cast<double>(obs::NowNanos() - iter_start) / 1e6,
-        iter_work_ms});
+
+    // Budget checks, after the iteration's (possibly partial) results are
+    // folded in: a degraded stop still keeps the best-so-far improvement.
+    if (cancel.cancelled() || past_deadline()) {
+      stop_reason = "wall-clock budget (" +
+                    std::to_string(options.budget_ms) + "ms) exhausted";
+      break;
+    }
+    if (!improved && !candidate_budget_hit) {
+      converged = true;  // every neighbor evaluated, none improves
+      break;
+    }
+    if (candidate_budget_hit ||
+        (options.max_candidates > 0 &&
+         candidates_budgeted >= options.max_candidates)) {
+      stop_reason = "candidate budget (" +
+                    std::to_string(options.max_candidates) + ") exhausted";
+      break;
+    }
+  }
+
+  if (!converged && stop_reason.empty()) {
+    // The loop ran out of iterations while still improving.
+    stop_reason = "iteration budget (" +
+                  std::to_string(options.max_iterations) + ") exhausted";
+  }
+  if (result.stats.candidates_failed > 0) {
+    std::string skipped =
+        std::to_string(result.stats.candidates_failed) +
+        " candidate evaluation(s) skipped on error";
+    if (!first_error.empty()) skipped += " (first: " + first_error + ")";
+    stop_reason = stop_reason.empty() ? skipped : stop_reason + "; " + skipped;
+  }
+  if (!stop_reason.empty()) {
+    result.degraded = true;
+    result.degraded_reason = std::move(stop_reason);
+    obs::Count("search.degraded");
   }
 
   coster.FillStats(&result.stats);

@@ -31,7 +31,32 @@ struct SearchOptions {
   // (0 reproduces the paper's strict Algorithm 4.1 termination).
   double min_relative_improvement = 0;
 
+  // --- Budgets. Algorithm 4.1 stops only when no neighbor improves; a
+  // deadline-bound caller instead bounds the work and accepts the
+  // best-so-far configuration. Exceeding any budget terminates the search
+  // gracefully: the result is always a valid, fully costed configuration,
+  // with SearchResult::degraded set and degraded_reason describing which
+  // budget ran out. 0 means unlimited (except max_iterations).
+  //
+  // Candidate/iteration budgets are enforced at deterministic points, so
+  // results are bit-for-bit reproducible at any thread count; the
+  // wall-clock budget cancels in-flight workers cooperatively and is NOT
+  // reproducible (which candidates finished depends on timing).
+
+  // Iteration budget: stop after this many greedy steps.
   int max_iterations = 64;
+
+  // Wall-clock budget for the whole search, milliseconds.
+  int64_t budget_ms = 0;
+
+  // Candidate budget: total candidate configurations costed across the
+  // run (the initial configuration is not counted).
+  int64_t max_candidates = 0;
+
+  // Failpoint spec armed for the duration of this search and disarmed on
+  // exit (see common/failpoint.h for the grammar). An invalid spec fails
+  // the search with InvalidArgument.
+  std::string failpoints;
 
   // Beam width: 1 reproduces the paper's greedy search; k > 1 keeps the k
   // best configurations per iteration and expands all of them — the
@@ -69,6 +94,12 @@ struct SearchStats {
   int64_t schemas_costed = 0;    // configurations fully costed (incl. initial)
   int64_t descriptors_enumerated = 0;  // transform descriptors generated
   int64_t dedup_hits = 0;  // candidates skipped by schema-fingerprint dedupe
+  // Neighbor evaluations that failed (transform apply, translate or
+  // optimizer error — forced by failpoints in tests) and were skipped
+  // instead of failing the search. Skipped candidates relax the totals
+  // invariant above to ">=": a candidate may fail after some of its
+  // queries were already planned or served from the cache.
+  int64_t candidates_failed = 0;
   int threads_used = 0;    // resolved worker count
 };
 
@@ -77,12 +108,22 @@ struct SearchResult {
   double best_cost = 0;
   SearchStats stats;
 
+  // Degradation contract: when the search could not run Algorithm 4.1 to
+  // convergence with every candidate evaluated — a budget ran out, or
+  // candidate evaluations failed and were skipped — `degraded` is true and
+  // `degraded_reason` says why. best_schema is still always a valid
+  // p-schema (mappable via map::MapSchema) and best_cost its true cost:
+  // degradation only means a cheaper configuration might exist.
+  bool degraded = false;
+  std::string degraded_reason;
+
   struct IterationLog {
     int iteration = 0;       // 0 is the initial configuration
     double cost = 0;         // cost after this iteration
     std::string applied;     // transformation taken ("" for iteration 0)
     int candidates = 0;      // number of candidates evaluated
     int descriptors = 0;     // transform descriptors enumerated
+    int failed = 0;          // candidate evaluations skipped on error
     double elapsed_ms = 0;   // wall time spent on this iteration
     double work_ms = 0;      // summed per-candidate evaluation time; the
                              // ratio work_ms / elapsed_ms is the candidate

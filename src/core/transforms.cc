@@ -3,6 +3,8 @@
 #include <cctype>
 #include <functional>
 
+#include "common/failpoint.h"
+
 namespace legodb::core {
 
 using ps::NodePath;
@@ -361,6 +363,7 @@ StatusOr<Schema> ApplyWildcardMaterialize(const Schema& schema,
 
 StatusOr<Schema> ApplyTransformation(const Schema& schema,
                                      const Transformation& t) {
+  LEGODB_FAILPOINT("transforms.apply");
   switch (t.kind) {
     case Transformation::Kind::kInline: {
       // Re-normalize: inlining can duplicate references to shared types.

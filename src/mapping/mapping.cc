@@ -1,12 +1,13 @@
 #include "mapping/mapping.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cctype>
 #include <cmath>
 #include <functional>
 #include <set>
 
+#include "common/check.h"
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "pschema/pschema.h"
 
@@ -73,7 +74,7 @@ const TypeMapping* Mapping::FindType(const std::string& name) const {
 
 const TypeMapping& Mapping::GetType(const std::string& name) const {
   const TypeMapping* tm = FindType(name);
-  assert(tm && "Mapping::GetType: unknown type");
+  LEGODB_CHECK(tm != nullptr, "Mapping::GetType: unknown type");
   return *tm;
 }
 
@@ -123,7 +124,7 @@ class Mapper {
     }
     ComputeCounts();
     ComputeParents();
-    BuildCatalog();
+    LEGODB_RETURN_IF_ERROR(BuildCatalog());
     result_.schema_ = schema_;
     return std::move(result_);
   }
@@ -218,7 +219,8 @@ class Mapper {
         std::vector<double> weights = UnionSplit(t);
         for (size_t i = 0; i < t->children.size(); ++i) {
           const auto& alt = t->children[i];
-          assert(alt->kind == Type::Kind::kTypeRef);
+          LEGODB_CHECK(alt->kind == Type::Kind::kTypeRef,
+                       "stratified union alternative must be a type ref");
           ChildRef ref;
           ref.path = *path;
           ref.type_name = alt->ref_name;
@@ -385,7 +387,7 @@ class Mapper {
     }
   }
 
-  void BuildCatalog() {
+  Status BuildCatalog() {
     auto& types = result_.types_;
     for (const auto& name : schema_.ReachableFromRoot()) {
       TypeMapping& tm = types[name];
@@ -447,8 +449,9 @@ class Mapper {
         table.foreign_keys.push_back(
             rel::ForeignKey{link.fk_column, types[link.parent_type].table});
       }
-      result_.catalog_.AddTable(std::move(table));
+      LEGODB_RETURN_IF_ERROR(result_.catalog_.AddTable(std::move(table)));
     }
+    return Status::OK();
   }
 
   const Schema& schema_;
@@ -458,6 +461,7 @@ class Mapper {
 };
 
 StatusOr<Mapping> MapSchema(const Schema& pschema) {
+  LEGODB_FAILPOINT("mapping.map_schema");
   return Mapper(pschema).Run();
 }
 

@@ -6,6 +6,7 @@
 #include <limits>
 #include <map>
 
+#include "common/failpoint.h"
 #include "obs/obs.h"
 
 namespace legodb::opt {
@@ -475,6 +476,7 @@ StatusOr<PlannedBlock> Optimizer::PlanBlock(const QueryBlock& block) const {
 }
 
 StatusOr<PlannedQuery> Optimizer::PlanQuery(const RelQuery& query) const {
+  LEGODB_FAILPOINT("optimizer.plan_query");
   obs::ScopedTimer timer("optimizer.plan_ms");
   obs::Count("optimizer.queries_planned");
   PlannedQuery result;

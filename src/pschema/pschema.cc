@@ -1,9 +1,10 @@
 #include "pschema/pschema.h"
 
-#include <cassert>
 #include <cctype>
 #include <functional>
 #include <map>
+
+#include "common/check.h"
 
 namespace legodb::ps {
 
@@ -332,7 +333,8 @@ Schema Normalize(const Schema& schema) {
     out.Define(name, NormalizeType(out.Get(name), &out));
   }
   out = DisambiguateRepeatedRefs(std::move(out));
-  assert(CheckPhysical(out).ok());
+  LEGODB_DCHECK(CheckPhysical(out).ok(),
+                "Normalize produced a non-physical schema");
   return out;
 }
 
@@ -427,7 +429,7 @@ TypePtr ReplaceAt(const TypePtr& type, const NodePath& path,
   int idx = path[0];
   NodePath rest(path.begin() + 1, path.end());
   if (type->child) {
-    assert(idx == 0);
+    LEGODB_CHECK(idx == 0, "node path steps into a single-child node");
     TypePtr new_child = ReplaceAt(type->child, rest, std::move(replacement));
     switch (type->kind) {
       case Type::Kind::kElement:
@@ -438,12 +440,13 @@ TypePtr ReplaceAt(const TypePtr& type, const NodePath& path,
         return Type::Repetition(std::move(new_child), type->min_occurs,
                                 type->max_occurs, type->avg_count);
       default:
-        assert(false && "unexpected single-child node");
+        LEGODB_CHECK(false, "unexpected single-child node");
         return type;
     }
   }
   std::vector<TypePtr> children = type->children;
-  assert(idx >= 0 && static_cast<size_t>(idx) < children.size());
+  LEGODB_CHECK(idx >= 0 && static_cast<size_t>(idx) < children.size(),
+               "node path index out of range");
   children[idx] = ReplaceAt(children[idx], rest, std::move(replacement));
   return type->kind == Type::Kind::kSequence ? Type::Sequence(std::move(children))
                                              : Type::Union(std::move(children));

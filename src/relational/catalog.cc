@@ -1,7 +1,8 @@
 #include "relational/catalog.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace legodb::rel {
 
@@ -40,10 +41,13 @@ int Table::ColumnIndex(const std::string& name) const {
   return -1;
 }
 
-void Catalog::AddTable(Table table) {
-  assert(!tables_.count(table.name) && "duplicate table");
+Status Catalog::AddTable(Table table) {
+  if (tables_.count(table.name) > 0) {
+    return Status::InvalidArgument("duplicate table '" + table.name + "'");
+  }
   names_.push_back(table.name);
   tables_[table.name] = std::move(table);
+  return Status::OK();
 }
 
 const Table* Catalog::FindTable(const std::string& name) const {
@@ -53,7 +57,7 @@ const Table* Catalog::FindTable(const std::string& name) const {
 
 const Table& Catalog::GetTable(const std::string& name) const {
   const Table* t = FindTable(name);
-  assert(t && "Catalog::GetTable: unknown table");
+  LEGODB_CHECK(t != nullptr, "Catalog::GetTable: unknown table");
   return *t;
 }
 

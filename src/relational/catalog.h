@@ -73,8 +73,12 @@ class Catalog {
  public:
   Catalog() = default;
 
-  void AddTable(Table table);
+  // Rejects duplicate table names with InvalidArgument (reachable from
+  // ingestion via the mapper, so recoverable rather than a crash).
+  Status AddTable(Table table);
   const Table* FindTable(const std::string& name) const;
+  // Aborts (LEGODB_CHECK, all build modes) on an unknown table: callers on
+  // fallible paths must use FindTable/HasTable.
   const Table& GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
 

@@ -1,17 +1,19 @@
 #include "storage/database.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace legodb::store {
 
 void StoredTable::Insert(Row row) {
-  assert(row.size() == meta_.columns.size());
+  LEGODB_CHECK(row.size() == meta_.columns.size(),
+               "StoredTable::Insert: row arity mismatch");
   rows_.push_back(std::move(row));
   indexes_.clear();  // indexes are rebuilt lazily after loading
 }
 
 void StoredTable::RemoveLastRows(size_t n) {
-  assert(n <= rows_.size());
+  LEGODB_CHECK(n <= rows_.size(),
+               "StoredTable::RemoveLastRows: more rows than stored");
   rows_.resize(rows_.size() - n);
   indexes_.clear();
 }
@@ -19,7 +21,7 @@ void StoredTable::RemoveLastRows(size_t n) {
 void StoredTable::EnsureIndex(const std::string& column) {
   if (indexes_.count(column)) return;
   int idx = meta_.ColumnIndex(column);
-  assert(idx >= 0 && "EnsureIndex: unknown column");
+  LEGODB_CHECK(idx >= 0, "EnsureIndex: unknown column");
   auto& index = indexes_[column];
   for (size_t i = 0; i < rows_.size(); ++i) {
     const Value& v = rows_[i][idx];
@@ -62,13 +64,13 @@ const StoredTable* Database::FindTable(const std::string& name) const {
 
 StoredTable& Database::GetTable(const std::string& name) {
   StoredTable* t = FindTable(name);
-  assert(t && "Database::GetTable: unknown table");
+  LEGODB_CHECK(t != nullptr, "Database::GetTable: unknown table");
   return *t;
 }
 
 const StoredTable& Database::GetTable(const std::string& name) const {
   const StoredTable* t = FindTable(name);
-  assert(t && "Database::GetTable: unknown table");
+  LEGODB_CHECK(t != nullptr, "Database::GetTable: unknown table");
   return *t;
 }
 

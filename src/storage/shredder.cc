@@ -1,8 +1,9 @@
 #include "storage/shredder.h"
 
-#include <cassert>
 #include <set>
 
+#include "common/check.h"
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "obs/obs.h"
 #include "xquery/evaluator.h"
@@ -270,7 +271,7 @@ class Shredder {
     Row row(meta.columns.size(), Value::MakeNull());
     int64_t id = db_->NextId();
     int key_idx = meta.ColumnIndex(meta.key_column);
-    assert(key_idx >= 0);
+    LEGODB_CHECK(key_idx >= 0, "mapped table lost its key column");
     row[key_idx] = Value::Int(id);
     if (!parent_type.empty()) {
       // Resolve the FK through virtual-union contraction: the effective
@@ -309,6 +310,7 @@ class Shredder {
 
 Status ShredDocument(const xml::Document& doc, const map::Mapping& mapping,
                      Database* db) {
+  LEGODB_FAILPOINT("shredder.document");
   obs::Span span("shred.document");
   obs::Count("shred.documents");
   return Shredder(mapping, db).Shred(doc);

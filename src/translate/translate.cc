@@ -1,10 +1,10 @@
 #include "translate/translate.h"
 
 #include <algorithm>
-#include <cassert>
 #include <functional>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "obs/obs.h"
 #include "xquery/evaluator.h"
@@ -628,6 +628,7 @@ class Translator {
 
 StatusOr<opt::RelQuery> TranslateQuery(const xq::Query& query,
                                        const Mapping& mapping) {
+  LEGODB_FAILPOINT("translate.query");
   obs::ScopedTimer timer("translate.ms");
   obs::Count("translate.queries");
   StatusOr<opt::RelQuery> result = Translator(query, mapping).Run();

@@ -1,14 +1,15 @@
 #include "xschema/schema.h"
 
 #include <algorithm>
-#include <cassert>
 #include <functional>
 #include <set>
+
+#include "common/check.h"
 
 namespace legodb::xs {
 
 void Schema::Define(const std::string& name, TypePtr type) {
-  assert(type);
+  LEGODB_CHECK(type != nullptr, "Schema::Define: null type");
   if (!types_.count(name)) type_names_.push_back(name);
   types_[name] = std::move(type);
   if (root_type_.empty()) root_type_ = name;
@@ -27,7 +28,7 @@ TypePtr Schema::Find(const std::string& name) const {
 
 TypePtr Schema::Get(const std::string& name) const {
   TypePtr t = Find(name);
-  assert(t && "Schema::Get: undefined type");
+  LEGODB_CHECK(t != nullptr, "Schema::Get: undefined type");
   return t;
 }
 

@@ -6,11 +6,19 @@
 #   tools/check.sh -DLEGODB_SANITIZE=address # ASan build + tests
 #   tools/check.sh --tsan                    # TSan pass over the parallel
 #                                            # candidate-evaluation path
+#   tools/check.sh --release-checks          # Release (NDEBUG) build of the
+#                                            # invariant/malformed-input suites
 #
 # --tsan builds into build-tsan with -DLEGODB_SANITIZE=thread and runs the
 # tests exercising the parallel search (search_test, plus the transform and
-# pipeline suites that feed it) with halt_on_error=1, so any reported data
+# pipeline suites that feed it, and robustness_test for budget cancellation
+# and failpoints under threads) with halt_on_error=1, so any reported data
 # race fails the script.
+#
+# --release-checks builds into build-release with -DCMAKE_BUILD_TYPE=Release
+# and runs the suites covering invariant checks and malformed inputs. This
+# proves LEGODB_CHECK still aborts (death tests) and the malformed-input
+# paths return clean Statuses with asserts compiled out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,10 +26,21 @@ if [[ "${1:-}" == "--tsan" ]]; then
   shift
   cmake -B build-tsan -S . -DLEGODB_SANITIZE=thread "$@"
   cmake --build build-tsan -j"$(nproc)" --target \
-    search_test transforms_test pipeline_test
+    search_test transforms_test pipeline_test robustness_test
   export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
   ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R 'search_test|transforms_test|pipeline_test'
+    -R 'search_test|transforms_test|pipeline_test|robustness_test'
+  exit 0
+fi
+
+if [[ "${1:-}" == "--release-checks" ]]; then
+  shift
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  cmake --build build-release -j"$(nproc)" --target \
+    robustness_test search_test common_test relational_test \
+    storage_test mapping_test
+  ctest --test-dir build-release --output-on-failure -j"$(nproc)" \
+    -R 'robustness_test|search_test|common_test|relational_test|storage_test|mapping_test'
   exit 0
 fi
 

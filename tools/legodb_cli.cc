@@ -5,8 +5,13 @@
 //          --query 'Q1:0.4:FOR $v IN ...' [--query ...]
 //          [--update 'add_review:2.0:imdb/show/reviews']
 //          [--start so|si] [--beam N] [--threads N] [--threshold F]
-//          [--explain] [--explain-search] [--trace] [--metrics-out=FILE]
+//          [--budget-ms N] [--max-iterations N] [--max-candidates N]
+//          [--failpoints SPEC] [--explain] [--explain-search] [--trace]
+//          [--metrics-out=FILE]
 //   legodb --demo imdb|auction       # run on the built-in applications
+//
+// Exit codes: 0 success, 2 configuration error (bad flags, unreadable or
+// malformed input files), 3 runtime error (search/output failure).
 //
 // Prints the search summary, the chosen physical XML schema and the derived
 // relational DDL. --explain-search dumps the per-iteration greedy-search
@@ -14,6 +19,7 @@
 // dumps the span tree and metrics of the run; --metrics-out writes the full
 // obs::Report as JSON; --explain shows the SQL and plan for each query.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -21,6 +27,7 @@
 #include <vector>
 
 #include "auction/auction.h"
+#include "common/failpoint.h"
 #include "core/explain.h"
 #include "core/legodb.h"
 #include "imdb/imdb.h"
@@ -31,6 +38,10 @@
 using namespace legodb;
 
 namespace {
+
+// Distinct exit codes so scripts can tell bad inputs from engine faults.
+constexpr int kExitConfigError = 2;
+constexpr int kExitRuntimeError = 3;
 
 StatusOr<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -62,9 +73,11 @@ int Usage() {
       "              [--update NAME:W:path/to/element]... [--start so|si]\n"
       "              [--beam N] [--threads N] [--threshold F] [--explain]\n"
       "              [--explain-search] [--trace] [--metrics-out=FILE]\n"
+      "              [--budget-ms N] [--max-iterations N]\n"
+      "              [--max-candidates N] [--failpoints SPEC]\n"
       "       legodb --demo imdb|auction [--explain] [--explain-search]\n"
       "              [--trace] [--metrics-out=FILE]\n");
-  return 2;
+  return kExitConfigError;
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
@@ -78,6 +91,7 @@ Status WriteFile(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  fp::EnableFromEnvOnce();
   core::MappingEngine engine;
   core::SearchOptions options = core::GreedySoOptions();
   bool explain = false;
@@ -93,6 +107,7 @@ int main(int argc, char** argv) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     Status st;
+    std::string st_context;  // names the offending file/flag in errors
     if (arg == "--demo") {
       const char* v = next();
       if (!v) return Usage();
@@ -102,12 +117,14 @@ int main(int argc, char** argv) {
       if (!v) return Usage();
       auto text = ReadFile(v);
       st = text.ok() ? engine.LoadSchemaText(text.value()) : text.status();
+      st_context = std::string("schema file ") + v;
       have_schema = true;
     } else if (arg == "--stats") {
       const char* v = next();
       if (!v) return Usage();
       auto text = ReadFile(v);
       st = text.ok() ? engine.LoadStatsText(text.value()) : text.status();
+      st_context = std::string("stats file ") + v;
     } else if (arg == "--query") {
       const char* v = next();
       if (!v) return Usage();
@@ -147,6 +164,23 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       options.min_relative_improvement = std::strtod(v, nullptr);
+    } else if (arg == "--budget-ms") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.budget_ms = std::atoll(v);
+    } else if (arg == "--max-iterations") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.max_iterations = std::atoi(v);
+    } else if (arg == "--max-candidates") {
+      const char* v = next();
+      if (!v) return Usage();
+      options.max_candidates = std::atoll(v);
+    } else if (arg == "--failpoints") {
+      const char* v = next();
+      if (!v) return Usage();
+      st = fp::Enable(v);
+      st_context = "--failpoints";
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--explain-search") {
@@ -165,15 +199,16 @@ int main(int argc, char** argv) {
       return Usage();
     }
     if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-      return 1;
+      std::fprintf(stderr, "error: %s%s%s\n", st_context.c_str(),
+                   st_context.empty() ? "" : ": ", st.ToString().c_str());
+      return kExitConfigError;
     }
   }
 
   if (demo == "imdb") {
     if (!engine.LoadSchemaText(imdb::SchemaText()).ok() ||
         !engine.LoadStatsText(imdb::StatsText()).ok()) {
-      return 1;
+      return kExitRuntimeError;
     }
     for (const char* q : {"Q1", "Q3", "Q8", "Q16"}) {
       (void)engine.AddQuery(q, imdb::QueryText(q), 0.25);
@@ -182,7 +217,7 @@ int main(int argc, char** argv) {
   } else if (demo == "auction") {
     auto schema = auction::Schema();
     auto workload = auction::MakeWorkload("bidding");
-    if (!schema.ok() || !workload.ok()) return 1;
+    if (!schema.ok() || !workload.ok()) return kExitRuntimeError;
     auction::AuctionScale scale;
     xml::Document doc = auction::Generate(scale);
     xs::StatsCollector collector;
@@ -201,7 +236,7 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
                  result.status().ToString().c_str());
-    return 1;
+    return kExitRuntimeError;
   }
   std::printf("=== search: %s ===\n",
               core::SearchSummary(result->search).c_str());
@@ -221,8 +256,9 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     Status st = WriteFile(metrics_out, result->report.ToJson());
     if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-      return 1;
+      std::fprintf(stderr, "error: metrics file %s: %s\n",
+                   metrics_out.c_str(), st.ToString().c_str());
+      return kExitRuntimeError;
     }
     std::printf("metrics report written to %s\n", metrics_out.c_str());
   }
