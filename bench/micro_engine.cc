@@ -4,6 +4,7 @@
 
 #include "bench/bench_util.h"
 #include "engine/executor.h"
+#include "engine/reference_executor.h"
 #include "imdb/imdb.h"
 #include "mapping/mapping.h"
 #include "optimizer/optimizer.h"
@@ -72,6 +73,91 @@ void BM_Reconstruct(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Reconstruct);
+
+// A prepared fig10 workload (lookup Q8/Q9/Q11/Q12/Q13 + publish
+// Q15/Q16/Q17) over the all-inlined IMDB configuration, shared by the
+// executor comparison benchmarks below.
+struct Fig10Workload {
+  store::Database db;
+  std::vector<opt::RelQuery> queries;
+  std::vector<std::vector<opt::PhysicalPlanPtr>> plans;
+  std::map<std::string, Value> params;
+
+  explicit Fig10Workload(const map::Mapping& mapping) : db(mapping.catalog()) {
+    imdb::ImdbScale scale;
+    scale.shows = 300;
+    scale.directors = 120;
+    scale.actors = 400;
+    xml::Document doc = imdb::Generate(scale);
+    bench::Check(store::ShredDocument(doc, mapping, &db), "shred");
+    bench::Check(db.PrewarmIndexes(), "prewarm");
+    params = {{"c1", Value::Str("title1")},
+              {"c2", Value::Str("title2")},
+              {"c4", Value::Str("person3")}};
+    opt::Optimizer optimizer(mapping.catalog());
+    for (const char* name :
+         {"Q8", "Q9", "Q11", "Q12", "Q13", "Q15", "Q16", "Q17"}) {
+      auto q = bench::Unwrap(xq::ParseQuery(imdb::QueryText(name)), "parse");
+      auto rq = bench::Unwrap(xlat::TranslateQuery(q, mapping), "translate");
+      auto planned = bench::Unwrap(optimizer.PlanQuery(rq), "plan");
+      std::vector<opt::PhysicalPlanPtr> query_plans;
+      for (const auto& b : planned.blocks) query_plans.push_back(b.plan);
+      queries.push_back(std::move(rq));
+      plans.push_back(std::move(query_plans));
+    }
+  }
+};
+
+Fig10Workload& SharedFig10() {
+  static auto* mapping = new map::Mapping(bench::Unwrap(
+      map::MapSchema(ps::AllInlined(bench::AnnotatedImdb())), "map"));
+  static auto* workload = new Fig10Workload(*mapping);
+  return *workload;
+}
+
+// The seed materializing interpreter over the fig10 workload: the "before"
+// side of the pipelined-executor speedup claim.
+void BM_Fig10Reference(benchmark::State& state) {
+  Fig10Workload& w = SharedFig10();
+  // Both sides must agree row for row before either timing counts.
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    engine::ReferenceExecutor ref(&w.db, w.params);
+    engine::Executor batched(&w.db, w.params);
+    auto expected = ref.ExecuteQuery(w.queries[i], w.plans[i]);
+    auto actual = batched.ExecuteQuery(w.queries[i], w.plans[i]);
+    bench::Check(expected.status(), "reference execute");
+    bench::Check(actual.status(), "batched execute");
+    if (!(expected->rows == actual->rows)) {
+      std::fprintf(stderr, "FATAL: executor mismatch on fig10 query %zu\n",
+                   i);
+      std::exit(1);
+    }
+  }
+  for (auto _ : state) {
+    for (size_t i = 0; i < w.queries.size(); ++i) {
+      engine::ReferenceExecutor exec(&w.db, w.params);
+      auto result = exec.ExecuteQuery(w.queries[i], w.plans[i]);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+}
+BENCHMARK(BM_Fig10Reference);
+
+// The pipelined batch executor over the same workload, at the batch size
+// given by the benchmark argument.
+void BM_Fig10Batched(benchmark::State& state) {
+  Fig10Workload& w = SharedFig10();
+  engine::ExecOptions options;
+  options.batch_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    for (size_t i = 0; i < w.queries.size(); ++i) {
+      engine::Executor exec(&w.db, w.params, options);
+      auto result = exec.ExecuteQuery(w.queries[i], w.plans[i]);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+}
+BENCHMARK(BM_Fig10Batched)->Arg(1)->Arg(64)->Arg(1024)->Arg(4096);
 
 void BM_ExecuteLookup(benchmark::State& state) {
   xml::Document doc = imdb::Generate(SmallScale());

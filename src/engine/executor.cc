@@ -1,13 +1,16 @@
 #include "engine/executor.h"
 
-#include <cassert>
+#include <algorithm>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "obs/obs.h"
 #include "xquery/evaluator.h"
 
 namespace legodb::engine {
 
+using store::HashIndex;
 using store::Row;
 using store::StoredTable;
 
@@ -19,11 +22,18 @@ void ExecStats::Add(const ExecStats& other) {
   bytes_out += other.bytes_out;
 }
 
+double OpActual::QError() const {
+  double est = std::max(est_rows, 1.0);
+  double act = std::max(static_cast<double>(actual_rows), 1.0);
+  return std::max(est / act, act / est);
+}
+
 namespace {
 
 // One intermediate tuple: a row pointer per base relation (nullptr when the
 // relation is not yet joined or missed an outer join).
 using Binding = std::vector<const Row*>;
+using Batch = std::vector<Binding>;
 
 // Static metric names per operator (rows produced, inclusive wall time).
 struct OpMetricNames {
@@ -47,260 +57,668 @@ OpMetricNames MetricNames(opt::PhysicalPlan::Kind kind) {
   return {"exec.unknown.rows", "exec.unknown.ms"};
 }
 
+const char* KindLabel(opt::PhysicalPlan::Kind kind) {
+  switch (kind) {
+    case opt::PhysicalPlan::Kind::kSeqScan:
+      return "SeqScan";
+    case opt::PhysicalPlan::Kind::kIndexLookup:
+      return "IndexLookup";
+    case opt::PhysicalPlan::Kind::kHashJoin:
+      return "HashJoin";
+    case opt::PhysicalPlan::Kind::kIndexNLJoin:
+      return "IndexNLJoin";
+    case opt::PhysicalPlan::Kind::kProject:
+      return "Project";
+  }
+  return "Unknown";
+}
+
+// Shared state of one block execution: table bindings resolved once, plus
+// the owning executor for stats/params.
+struct ExecContext {
+  Executor* e = nullptr;
+  const std::map<std::string, Value>* params = nullptr;
+  ExecStats* stats = nullptr;
+  const opt::QueryBlock* block = nullptr;
+  std::vector<StoredTable*> tables;
+  size_t batch_size = 1;
+  bool timed = false;  // operators accumulate wall time per Next/Open
+
+  std::string QualifiedColumn(int rel, const std::string& column) const {
+    if (rel < 0 || rel >= static_cast<int>(tables.size())) {
+      return "rel#" + std::to_string(rel) + "." + column;
+    }
+    return tables[rel]->meta().name + "." + column;
+  }
+};
+
+// A filter with its column offset and comparison constant resolved once at
+// operator open; unknown columns and unbound parameters fail the open, they
+// never silently drop rows.
+struct CompiledFilter {
+  int col = -1;
+  xq::CompareOp op = xq::CompareOp::kEq;
+  Value want;
+  bool not_null = false;
+};
+
+// A residual join edge with both column offsets resolved.
+struct CompiledResidual {
+  int left_rel = -1;
+  int left_col = -1;
+  int right_rel = -1;
+  int right_col = -1;
+};
+
+StatusOr<Value> ResolveConstant(const ExecContext& ctx, const xq::Constant& c) {
+  switch (c.kind) {
+    case xq::Constant::Kind::kInt:
+      return Value::Int(c.int_value);
+    case xq::Constant::Kind::kString:
+      return xq::CanonicalValue(c.string_value);
+    case xq::Constant::Kind::kSymbol: {
+      auto it = ctx.params->find(c.symbol);
+      if (it == ctx.params->end()) {
+        return Status::InvalidArgument("unbound query parameter '" + c.symbol +
+                                       "'");
+      }
+      return it->second;
+    }
+  }
+  return Status::Internal("bad constant");
+}
+
+StatusOr<int> ResolveColumn(const ExecContext& ctx, int rel,
+                            const std::string& column, const char* what) {
+  if (rel < 0 || rel >= static_cast<int>(ctx.tables.size())) {
+    return Status::Internal(std::string(what) + " references relation #" +
+                            std::to_string(rel) + " outside the block");
+  }
+  int idx = ctx.tables[rel]->meta().ColumnIndex(column);
+  if (idx < 0) {
+    return Status::Internal(std::string(what) + " references unknown column '" +
+                            ctx.QualifiedColumn(rel, column) +
+                            "' (translator/catalog drift)");
+  }
+  return idx;
+}
+
+// Compiles the filters of `filters` that apply to `rel`.
+StatusOr<std::vector<CompiledFilter>> CompileFilters(
+    const ExecContext& ctx, int rel,
+    const std::vector<opt::FilterPred>& filters) {
+  std::vector<CompiledFilter> out;
+  for (const auto& f : filters) {
+    if (f.rel != rel) continue;
+    CompiledFilter cf;
+    LEGODB_ASSIGN_OR_RETURN(cf.col, ResolveColumn(ctx, rel, f.column, "filter"));
+    cf.op = f.op;
+    cf.not_null = f.not_null;
+    if (!f.not_null) {
+      LEGODB_ASSIGN_OR_RETURN(cf.want, ResolveConstant(ctx, f.value));
+    }
+    out.push_back(std::move(cf));
+  }
+  return out;
+}
+
+bool PassFilters(const Row& row, const std::vector<CompiledFilter>& filters) {
+  for (const auto& f : filters) {
+    const Value& v = row[f.col];
+    if (v.is_null()) return false;
+    if (f.not_null) continue;
+    if (!xq::ApplyCompare(f.op, v, f.want)) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<CompiledResidual>> CompileResiduals(
+    const ExecContext& ctx, const std::vector<opt::JoinEdge>& edges) {
+  std::vector<CompiledResidual> out;
+  for (const auto& e : edges) {
+    CompiledResidual cr;
+    cr.left_rel = e.left_rel;
+    cr.right_rel = e.right_rel;
+    LEGODB_ASSIGN_OR_RETURN(
+        cr.left_col, ResolveColumn(ctx, e.left_rel, e.left_column,
+                                   "residual join"));
+    LEGODB_ASSIGN_OR_RETURN(
+        cr.right_col, ResolveColumn(ctx, e.right_rel, e.right_column,
+                                    "residual join"));
+    out.push_back(cr);
+  }
+  return out;
+}
+
+// Extra join predicates beyond the driving hash/index edge.
+bool ResidualsPass(const Binding& merged,
+                   const std::vector<CompiledResidual>& residuals) {
+  for (const auto& r : residuals) {
+    const Row* l = merged[r.left_rel];
+    const Row* rr = merged[r.right_rel];
+    if (!l || !rr) return false;
+    const Value& lv = (*l)[r.left_col];
+    const Value& rv = (*rr)[r.right_col];
+    if (lv.is_null() || rv.is_null() || !(lv == rv)) return false;
+  }
+  return true;
+}
+
+// A pipelined operator: Next() refills `out` with up to ctx->batch_size
+// bindings (join operators may overshoot when one input binding matches
+// several rows); an empty `out` signals end of stream.
+class Operator {
+ public:
+  Operator(ExecContext* ctx, const opt::PhysicalPlan* node)
+      : ctx_(ctx), node_(node) {}
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  virtual Status Next(Batch* out) = 0;
+
+  // Open/Next wrappers accumulating produced rows and inclusive wall time
+  // (child pulls included, mirroring the optimizer's inclusive est_cost).
+  Status OpenTimed() {
+    if (!ctx_->timed) return Open();
+    int64_t t0 = obs::NowNanos();
+    Status s = Open();
+    ns_ += obs::NowNanos() - t0;
+    return s;
+  }
+  Status NextTimed(Batch* out) {
+    if (!ctx_->timed) return Next(out);
+    int64_t t0 = obs::NowNanos();
+    Status s = Next(out);
+    ns_ += obs::NowNanos() - t0;
+    rows_ += static_cast<int64_t>(out->size());
+    return s;
+  }
+
+  const opt::PhysicalPlan* node() const { return node_; }
+  int64_t rows_produced() const { return rows_; }
+  double millis() const { return static_cast<double>(ns_) / 1e6; }
+
+ protected:
+  Binding NewBinding(int rel, const Row* row) const {
+    Binding b(ctx_->block->rels.size(), nullptr);
+    b[rel] = row;
+    return b;
+  }
+  double RowWidth(int rel) const {
+    return ctx_->tables[rel]->meta().RowWidth();
+  }
+  ExecStats& stats() const { return *ctx_->stats; }
+
+  ExecContext* ctx_;
+  const opt::PhysicalPlan* node_;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t ns_ = 0;
+};
+
+class SeqScanOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Open() override {
+    LEGODB_ASSIGN_OR_RETURN(
+        filters_, CompileFilters(*ctx_, node_->rel, node_->filters));
+    width_ = RowWidth(node_->rel);
+    stats().seeks += 1;
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(Batch* out) override {
+    out->clear();
+    const std::vector<Row>& rows = ctx_->tables[node_->rel]->rows();
+    size_t scanned = 0;
+    while (pos_ < rows.size() && out->size() < ctx_->batch_size) {
+      const Row& row = rows[pos_++];
+      ++scanned;
+      if (PassFilters(row, filters_)) {
+        out->push_back(NewBinding(node_->rel, &row));
+      }
+    }
+    stats().tuples_processed += static_cast<double>(scanned);
+    stats().bytes_read += static_cast<double>(scanned) * width_;
+    return Status::OK();
+  }
+
+ private:
+  std::vector<CompiledFilter> filters_;
+  double width_ = 0;
+  size_t pos_ = 0;
+};
+
+class IndexLookupOp : public Operator {
+ public:
+  using Operator::Operator;
+
+  Status Open() override {
+    LEGODB_ASSIGN_OR_RETURN(
+        filters_, CompileFilters(*ctx_, node_->rel, node_->filters));
+    const opt::FilterPred* driver = nullptr;
+    for (const auto& f : node_->filters) {
+      if (f.rel == node_->rel && f.column == node_->index_column &&
+          !f.not_null && f.op == xq::CompareOp::kEq) {
+        driver = &f;
+        break;
+      }
+    }
+    if (!driver) {
+      return Status::Internal("index lookup without driving filter");
+    }
+    LEGODB_ASSIGN_OR_RETURN(Value key, ResolveConstant(*ctx_, driver->value));
+    LEGODB_ASSIGN_OR_RETURN(
+        const HashIndex* index,
+        ctx_->tables[node_->rel]->GetOrBuildIndex(node_->index_column));
+    hits_ = &index->Find(key);
+    width_ = RowWidth(node_->rel);
+    stats().seeks += 1;
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(Batch* out) override {
+    out->clear();
+    const std::vector<Row>& rows = ctx_->tables[node_->rel]->rows();
+    size_t scanned = 0;
+    while (pos_ < hits_->size() && out->size() < ctx_->batch_size) {
+      const Row& row = rows[(*hits_)[pos_++]];
+      ++scanned;
+      if (PassFilters(row, filters_)) {
+        out->push_back(NewBinding(node_->rel, &row));
+      }
+    }
+    stats().seeks += static_cast<double>(scanned);
+    stats().tuples_processed += static_cast<double>(scanned);
+    stats().bytes_read += static_cast<double>(scanned) * width_;
+    return Status::OK();
+  }
+
+ private:
+  std::vector<CompiledFilter> filters_;
+  const std::vector<size_t>* hits_ = nullptr;
+  double width_ = 0;
+  size_t pos_ = 0;
+};
+
+// Hash join: materializes the build (right) side at open, then streams
+// probe batches through the hash table. Probe order is preserved and
+// matches per probe binding come in build order, so output order is
+// identical to the materializing reference executor at any batch size.
+//
+// When the build side is a bare unfiltered scan of the joined relation,
+// the join skips materialization entirely and probes the table's shared
+// pre-built hash index (same row order, so same output): repeated queries
+// stop re-hashing the build side on every execution. Profiled runs keep
+// the materializing path so per-operator actuals reflect the full
+// dataflow; stats are charged identically either way.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(ExecContext* ctx, const opt::PhysicalPlan* node,
+             std::unique_ptr<Operator> probe, std::unique_ptr<Operator> build)
+      : Operator(ctx, node),
+        probe_(std::move(probe)),
+        build_(std::move(build)) {}
+
+  Status Open() override {
+    LEGODB_RETURN_IF_ERROR(probe_->OpenTimed());
+    LEGODB_ASSIGN_OR_RETURN(
+        build_col_, ResolveColumn(*ctx_, node_->right_join_rel,
+                                  node_->right_join_column, "hash join"));
+    LEGODB_ASSIGN_OR_RETURN(
+        probe_col_, ResolveColumn(*ctx_, node_->left_join_rel,
+                                  node_->left_join_column, "hash join"));
+    LEGODB_ASSIGN_OR_RETURN(residuals_,
+                            CompileResiduals(*ctx_, node_->residual_joins));
+
+    int build_rel = node_->right_join_rel;
+    const opt::PhysicalPlan* b = node_->right.get();
+    if (!ctx_->timed && b && b->kind == opt::PhysicalPlan::Kind::kSeqScan &&
+        b->rel == build_rel && b->filters.empty()) {
+      LEGODB_ASSIGN_OR_RETURN(
+          shared_index_,
+          ctx_->tables[build_rel]->GetOrBuildIndex(node_->right_join_column));
+      // Charge what the materializing path would have: the build-side scan
+      // (one seek, every row read) plus the join's build-input tuples.
+      double n = static_cast<double>(ctx_->tables[build_rel]->row_count());
+      stats().seeks += 1;
+      stats().tuples_processed += 2 * n;
+      stats().bytes_read += n * RowWidth(build_rel);
+      return Status::OK();
+    }
+
+    // Drain and materialize the build side, then key it by join value.
+    LEGODB_RETURN_IF_ERROR(build_->OpenTimed());
+    Batch in;
+    do {
+      LEGODB_RETURN_IF_ERROR(build_->NextTimed(&in));
+      for (Binding& b2 : in) build_rows_.push_back(std::move(b2));
+    } while (!in.empty());
+    for (size_t i = 0; i < build_rows_.size(); ++i) {
+      const Row* row = build_rows_[i][build_rel];
+      if (!row || (*row)[build_col_].is_null()) continue;
+      table_[(*row)[build_col_]].push_back(i);
+    }
+    stats().tuples_processed += static_cast<double>(build_rows_.size());
+    return Status::OK();
+  }
+
+  Status Next(Batch* out) override {
+    out->clear();
+    int probe_rel = node_->left_join_rel;
+    int build_rel = node_->right_join_rel;
+    const std::vector<Row>* build_table =
+        shared_index_ ? &ctx_->tables[build_rel]->rows() : nullptr;
+    while (out->empty()) {
+      LEGODB_RETURN_IF_ERROR(probe_->NextTimed(&in_));
+      if (in_.empty()) return Status::OK();  // end of stream
+      stats().tuples_processed += static_cast<double>(in_.size());
+      for (Binding& l : in_) {
+        const Row* row = l[probe_rel];
+        bool matched = false;
+        if (row && !(*row)[probe_col_].is_null()) {
+          const Value& key = (*row)[probe_col_];
+          if (shared_index_) {
+            for (size_t idx : shared_index_->Find(key)) {
+              const Row& brow = (*build_table)[idx];
+              if (brow[build_col_].is_null()) continue;
+              Binding merged = l;
+              merged[build_rel] = &brow;
+              if (!ResidualsPass(merged, residuals_)) continue;
+              out->push_back(std::move(merged));
+              matched = true;
+            }
+          } else if (auto it = table_.find(key); it != table_.end()) {
+            for (size_t idx : it->second) {
+              const Binding& r = build_rows_[idx];
+              Binding merged = l;
+              for (size_t i = 0; i < merged.size(); ++i) {
+                if (r[i]) merged[i] = r[i];
+              }
+              if (!ResidualsPass(merged, residuals_)) continue;
+              out->push_back(std::move(merged));
+              matched = true;
+            }
+          }
+        }
+        // Preserve the probe binding exactly once when no hash match
+        // survived the residual predicates.
+        if (!matched && node_->left_outer) out->push_back(l);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<Operator> probe_;
+  std::unique_ptr<Operator> build_;
+  int build_col_ = -1;
+  int probe_col_ = -1;
+  std::vector<CompiledResidual> residuals_;
+  const HashIndex* shared_index_ = nullptr;  // fast path when non-null
+  std::vector<Binding> build_rows_;
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> table_;
+  Batch in_;
+};
+
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(ExecContext* ctx, const opt::PhysicalPlan* node,
+                std::unique_ptr<Operator> outer)
+      : Operator(ctx, node), outer_(std::move(outer)) {}
+
+  Status Open() override {
+    LEGODB_RETURN_IF_ERROR(outer_->OpenTimed());
+    LEGODB_ASSIGN_OR_RETURN(
+        filters_, CompileFilters(*ctx_, node_->rel, node_->filters));
+    LEGODB_ASSIGN_OR_RETURN(
+        outer_col_, ResolveColumn(*ctx_, node_->left_join_rel,
+                                  node_->left_join_column, "index join"));
+    LEGODB_ASSIGN_OR_RETURN(
+        index_, ctx_->tables[node_->rel]->GetOrBuildIndex(node_->index_column));
+    LEGODB_ASSIGN_OR_RETURN(residuals_,
+                            CompileResiduals(*ctx_, node_->residual_joins));
+    width_ = RowWidth(node_->rel);
+    return Status::OK();
+  }
+
+  Status Next(Batch* out) override {
+    out->clear();
+    int outer_rel = node_->left_join_rel;
+    int inner_rel = node_->rel;
+    const std::vector<Row>& inner_rows = ctx_->tables[inner_rel]->rows();
+    while (out->empty()) {
+      LEGODB_RETURN_IF_ERROR(outer_->NextTimed(&in_));
+      if (in_.empty()) return Status::OK();  // end of stream
+      for (Binding& l : in_) {
+        const Row* row = l[outer_rel];
+        bool matched = false;
+        stats().seeks += 1;
+        if (row && !(*row)[outer_col_].is_null()) {
+          const std::vector<size_t>& hits = index_->Find((*row)[outer_col_]);
+          stats().seeks += static_cast<double>(hits.size());
+          stats().tuples_processed += static_cast<double>(hits.size());
+          stats().bytes_read += static_cast<double>(hits.size()) * width_;
+          for (size_t idx : hits) {
+            const Row& irow = inner_rows[idx];
+            if (!PassFilters(irow, filters_)) continue;
+            Binding merged = l;
+            merged[inner_rel] = &irow;
+            if (!ResidualsPass(merged, residuals_)) continue;
+            out->push_back(std::move(merged));
+            matched = true;
+          }
+        }
+        if (!matched && node_->left_outer) out->push_back(l);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  std::vector<CompiledFilter> filters_;
+  std::vector<CompiledResidual> residuals_;
+  const HashIndex* index_ = nullptr;
+  int outer_col_ = -1;
+  double width_ = 0;
+  Batch in_;
+};
+
+// Builds the operator tree under a projection root, collecting every
+// operator (pre-order) for metric/profile flushing after the run.
+StatusOr<std::unique_ptr<Operator>> BuildOp(ExecContext* ctx,
+                                            const opt::PhysicalPlanPtr& p,
+                                            int depth,
+                                            std::vector<Operator*>* preorder,
+                                            std::vector<int>* depths) {
+  if (!p) return Status::Internal("null plan node");
+  std::unique_ptr<Operator> op;
+  switch (p->kind) {
+    case opt::PhysicalPlan::Kind::kSeqScan:
+      op = std::make_unique<SeqScanOp>(ctx, p.get());
+      break;
+    case opt::PhysicalPlan::Kind::kIndexLookup:
+      op = std::make_unique<IndexLookupOp>(ctx, p.get());
+      break;
+    case opt::PhysicalPlan::Kind::kHashJoin: {
+      preorder->push_back(nullptr);  // reserve the parent's pre-order slot
+      depths->push_back(depth);
+      size_t slot = preorder->size() - 1;
+      LEGODB_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> probe,
+          BuildOp(ctx, p->left, depth + 1, preorder, depths));
+      LEGODB_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> build,
+          BuildOp(ctx, p->right, depth + 1, preorder, depths));
+      op = std::make_unique<HashJoinOp>(ctx, p.get(), std::move(probe),
+                                        std::move(build));
+      (*preorder)[slot] = op.get();
+      return op;
+    }
+    case opt::PhysicalPlan::Kind::kIndexNLJoin: {
+      preorder->push_back(nullptr);
+      depths->push_back(depth);
+      size_t slot = preorder->size() - 1;
+      LEGODB_ASSIGN_OR_RETURN(
+          std::unique_ptr<Operator> outer,
+          BuildOp(ctx, p->left, depth + 1, preorder, depths));
+      op = std::make_unique<IndexNLJoinOp>(ctx, p.get(), std::move(outer));
+      (*preorder)[slot] = op.get();
+      return op;
+    }
+    case opt::PhysicalPlan::Kind::kProject:
+      return Status::Internal("nested projection");
+  }
+  preorder->push_back(op.get());
+  depths->push_back(depth);
+  return op;
+}
+
+std::string OpLabel(const ExecContext& ctx, const opt::PhysicalPlan& p) {
+  std::string label = KindLabel(p.kind);
+  auto alias = [&](int rel) {
+    return rel >= 0 && rel < static_cast<int>(ctx.block->rels.size())
+               ? ctx.block->rels[rel].alias
+               : "?";
+  };
+  switch (p.kind) {
+    case opt::PhysicalPlan::Kind::kSeqScan:
+      label += "(" + alias(p.rel) + ")";
+      break;
+    case opt::PhysicalPlan::Kind::kIndexLookup:
+      label += "(" + alias(p.rel) + "." + p.index_column + ")";
+      break;
+    case opt::PhysicalPlan::Kind::kHashJoin:
+      label += "(" + alias(p.left_join_rel) + "." + p.left_join_column + "=" +
+               alias(p.right_join_rel) + "." + p.right_join_column + ")";
+      break;
+    case opt::PhysicalPlan::Kind::kIndexNLJoin:
+      label += "(" + alias(p.left_join_rel) + "." + p.left_join_column +
+               "->" + alias(p.rel) + "." + p.index_column + ")";
+      break;
+    case opt::PhysicalPlan::Kind::kProject:
+      break;
+  }
+  return label;
+}
+
 }  // namespace
 
 class BlockExecutor {
  public:
-  BlockExecutor(Executor* e, const opt::QueryBlock& block)
-      : e_(e), block_(block) {}
+  BlockExecutor(Executor* e, const opt::QueryBlock& block) {
+    ctx_.e = e;
+    ctx_.params = &e->params_;
+    ctx_.stats = &e->stats_;
+    ctx_.block = &block;
+    ctx_.batch_size = std::max<size_t>(1, e->options_.batch_size);
+    ctx_.timed =
+        e->options_.collect_profile || obs::Current() != nullptr;
+  }
 
   StatusOr<xq::ResultSet> Run(const opt::PhysicalPlanPtr& plan) {
+    Executor* e = ctx_.e;
+    const opt::QueryBlock& block = *ctx_.block;
     if (!plan || plan->kind != opt::PhysicalPlan::Kind::kProject) {
       return Status::InvalidArgument("plan root must be a projection");
     }
-    for (const auto& rel : block_.rels) {
-      StoredTable* table = e_->db_->FindTable(rel.table);
+    for (const auto& rel : block.rels) {
+      StoredTable* table = e->db_->FindTable(rel.table);
       if (!table) return Status::NotFound("table '" + rel.table + "'");
-      tables_.push_back(table);
+      ctx_.tables.push_back(table);
     }
-    LEGODB_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
-                            Exec(plan->child));
+
+    std::vector<Operator*> preorder;
+    std::vector<int> depths;
+    LEGODB_ASSIGN_OR_RETURN(
+        std::unique_ptr<Operator> root,
+        BuildOp(&ctx_, plan->child, /*depth=*/1, &preorder, &depths));
+
+    // Resolve projection targets once: a missing column projects NULL (the
+    // outer-union publishing encoding relies on heterogeneous outputs).
+    struct Output {
+      int rel = -1;
+      int col = -1;
+    };
+    std::vector<Output> outputs;
+    outputs.reserve(block.output.size());
     xq::ResultSet result;
-    for (const auto& out : block_.output) {
+    for (const auto& out : block.output) {
       result.labels.push_back(out.label.empty()
                                   ? (out.rel >= 0 ? out.column : "NULL")
                                   : out.label);
-    }
-    for (const Binding& binding : bindings) {
-      std::vector<Value> row;
-      row.reserve(block_.output.size());
-      for (const auto& out : block_.output) {
-        if (out.rel < 0 || binding[out.rel] == nullptr) {
-          row.push_back(Value::MakeNull());
-          continue;
-        }
-        int idx = tables_[out.rel]->meta().ColumnIndex(out.column);
-        row.push_back(idx >= 0 ? (*binding[out.rel])[idx]
-                               : Value::MakeNull());
+      Output o;
+      o.rel = out.rel;
+      if (out.rel >= 0) {
+        o.col = ctx_.tables[out.rel]->meta().ColumnIndex(out.column);
       }
-      for (const Value& v : row) e_->stats_.bytes_out += v.ByteSize();
-      e_->stats_.rows_out += 1;
-      result.rows.push_back(std::move(row));
+      outputs.push_back(o);
     }
+
+    int64_t t0 = ctx_.timed ? obs::NowNanos() : 0;
+    LEGODB_RETURN_IF_ERROR(root->OpenTimed());
+    Batch batch;
+    do {
+      LEGODB_RETURN_IF_ERROR(root->NextTimed(&batch));
+      for (const Binding& binding : batch) {
+        std::vector<Value> row;
+        row.reserve(outputs.size());
+        for (const Output& o : outputs) {
+          if (o.rel < 0 || o.col < 0 || binding[o.rel] == nullptr) {
+            row.push_back(Value::MakeNull());
+            continue;
+          }
+          row.push_back((*binding[o.rel])[o.col]);
+        }
+        for (const Value& v : row) e->stats_.bytes_out += v.ByteSize();
+        e->stats_.rows_out += 1;
+        result.rows.push_back(std::move(row));
+      }
+    } while (!batch.empty());
+    double total_ms =
+        ctx_.timed ? static_cast<double>(obs::NowNanos() - t0) / 1e6 : 0;
+
     obs::Count("exec.project.rows", static_cast<int64_t>(result.rows.size()));
+    if (obs::Current() != nullptr) {
+      for (Operator* op : preorder) {
+        OpMetricNames names = MetricNames(op->node()->kind);
+        obs::Count(names.rows, op->rows_produced());
+        obs::Observe(names.ms, op->millis());
+      }
+    }
+    if (e->options_.collect_profile) {
+      OpActual project;
+      project.kind = opt::PhysicalPlan::Kind::kProject;
+      project.label = OpLabel(ctx_, *plan);
+      project.est_rows = plan->est_rows;
+      project.est_cost = plan->est_cost;
+      project.actual_rows = static_cast<int64_t>(result.rows.size());
+      project.ms = total_ms;
+      project.depth = 0;
+      e->profile_.ops.push_back(std::move(project));
+      for (size_t i = 0; i < preorder.size(); ++i) {
+        Operator* op = preorder[i];
+        OpActual actual;
+        actual.kind = op->node()->kind;
+        actual.label = OpLabel(ctx_, *op->node());
+        actual.est_rows = op->node()->est_rows;
+        actual.est_cost = op->node()->est_cost;
+        actual.actual_rows = op->rows_produced();
+        actual.ms = op->millis();
+        actual.depth = depths[i];
+        e->profile_.ops.push_back(std::move(actual));
+      }
+    }
     return result;
   }
 
  private:
-  StatusOr<Value> ResolveConstant(const xq::Constant& c) const {
-    switch (c.kind) {
-      case xq::Constant::Kind::kInt:
-        return Value::Int(c.int_value);
-      case xq::Constant::Kind::kString:
-        return xq::CanonicalValue(c.string_value);
-      case xq::Constant::Kind::kSymbol: {
-        auto it = e_->params_.find(c.symbol);
-        if (it == e_->params_.end()) {
-          return Status::InvalidArgument("unbound query parameter '" +
-                                         c.symbol + "'");
-        }
-        return it->second;
-      }
-    }
-    return Status::Internal("bad constant");
-  }
-
-  StatusOr<bool> PassFilters(int rel, const Row& row,
-                             const std::vector<opt::FilterPred>& filters)
-      const {
-    for (const auto& f : filters) {
-      if (f.rel != rel) continue;
-      int idx = tables_[rel]->meta().ColumnIndex(f.column);
-      if (idx < 0) return false;
-      if (row[idx].is_null()) return false;
-      if (f.not_null) continue;
-      LEGODB_ASSIGN_OR_RETURN(Value want, ResolveConstant(f.value));
-      if (!xq::ApplyCompare(f.op, row[idx], want)) return false;
-    }
-    return true;
-  }
-
-  // Extra join predicates beyond the driving hash/index edge.
-  bool ResidualsPass(const opt::PhysicalPlan& p, const Binding& merged) const {
-    for (const auto& e : p.residual_joins) {
-      const Row* l = merged[e.left_rel];
-      const Row* r = merged[e.right_rel];
-      if (!l || !r) return false;
-      int li = tables_[e.left_rel]->meta().ColumnIndex(e.left_column);
-      int ri = tables_[e.right_rel]->meta().ColumnIndex(e.right_column);
-      if (li < 0 || ri < 0) return false;
-      const Value& lv = (*l)[li];
-      const Value& rv = (*r)[ri];
-      if (lv.is_null() || rv.is_null() || !(lv == rv)) return false;
-    }
-    return true;
-  }
-
-  Binding NewBinding(int rel, const Row* row) const {
-    Binding b(block_.rels.size(), nullptr);
-    b[rel] = row;
-    return b;
-  }
-
-  double RowWidth(int rel) const { return tables_[rel]->meta().RowWidth(); }
-
-  // Dispatches to ExecNode, recording rows produced and inclusive wall time
-  // per operator kind into the ambient obs registry (no-ops without one).
-  StatusOr<std::vector<Binding>> Exec(const opt::PhysicalPlanPtr& p) {
-    if (!p) return Status::Internal("null plan node");
-    if (obs::Current() == nullptr) return ExecNode(p);
-    OpMetricNames names = MetricNames(p->kind);
-    int64_t start = obs::NowNanos();
-    StatusOr<std::vector<Binding>> out = ExecNode(p);
-    obs::Observe(names.ms, static_cast<double>(obs::NowNanos() - start) / 1e6);
-    if (out.ok()) obs::Count(names.rows, static_cast<int64_t>(out->size()));
-    return out;
-  }
-
-  StatusOr<std::vector<Binding>> ExecNode(const opt::PhysicalPlanPtr& p) {
-    switch (p->kind) {
-      case opt::PhysicalPlan::Kind::kSeqScan: {
-        const StoredTable& t = *tables_[p->rel];
-        e_->stats_.seeks += 1;
-        e_->stats_.tuples_processed += static_cast<double>(t.row_count());
-        e_->stats_.bytes_read +=
-            static_cast<double>(t.row_count()) * RowWidth(p->rel);
-        std::vector<Binding> out;
-        for (const Row& row : t.rows()) {
-          LEGODB_ASSIGN_OR_RETURN(bool pass,
-                                  PassFilters(p->rel, row, p->filters));
-          if (pass) out.push_back(NewBinding(p->rel, &row));
-        }
-        return out;
-      }
-      case opt::PhysicalPlan::Kind::kIndexLookup: {
-        StoredTable& t = *tables_[p->rel];
-        // Find the driving filter.
-        const opt::FilterPred* driver = nullptr;
-        for (const auto& f : p->filters) {
-          if (f.rel == p->rel && f.column == p->index_column &&
-              !f.not_null && f.op == xq::CompareOp::kEq) {
-            driver = &f;
-            break;
-          }
-        }
-        if (!driver) {
-          return Status::Internal("index lookup without driving filter");
-        }
-        LEGODB_ASSIGN_OR_RETURN(Value key, ResolveConstant(driver->value));
-        t.EnsureIndex(p->index_column);
-        const std::vector<size_t>* hits = t.Probe(p->index_column, key);
-        e_->stats_.seeks += 1;
-        std::vector<Binding> out;
-        if (!hits) return out;
-        e_->stats_.seeks += static_cast<double>(hits->size());
-        e_->stats_.tuples_processed += static_cast<double>(hits->size());
-        e_->stats_.bytes_read +=
-            static_cast<double>(hits->size()) * RowWidth(p->rel);
-        for (size_t idx : *hits) {
-          const Row& row = t.rows()[idx];
-          LEGODB_ASSIGN_OR_RETURN(bool pass,
-                                  PassFilters(p->rel, row, p->filters));
-          if (pass) out.push_back(NewBinding(p->rel, &row));
-        }
-        return out;
-      }
-      case opt::PhysicalPlan::Kind::kHashJoin: {
-        LEGODB_ASSIGN_OR_RETURN(std::vector<Binding> probe, Exec(p->left));
-        LEGODB_ASSIGN_OR_RETURN(std::vector<Binding> build, Exec(p->right));
-        e_->stats_.tuples_processed +=
-            static_cast<double>(probe.size() + build.size());
-        int build_rel = p->right_join_rel;
-        int build_col =
-            tables_[build_rel]->meta().ColumnIndex(p->right_join_column);
-        int probe_rel = p->left_join_rel;
-        int probe_col =
-            tables_[probe_rel]->meta().ColumnIndex(p->left_join_column);
-        if (build_col < 0 || probe_col < 0) {
-          return Status::Internal("bad join column");
-        }
-        std::unordered_map<Value, std::vector<const Binding*>, ValueHash>
-            table;
-        for (const Binding& b : build) {
-          const Row* row = b[build_rel];
-          if (!row || (*row)[build_col].is_null()) continue;
-          table[(*row)[build_col]].push_back(&b);
-        }
-        std::vector<Binding> out;
-        for (const Binding& l : probe) {
-          const Row* row = l[probe_rel];
-          bool matched = false;
-          if (row && !(*row)[probe_col].is_null()) {
-            auto it = table.find((*row)[probe_col]);
-            if (it != table.end()) {
-              for (const Binding* r : it->second) {
-                Binding merged = l;
-                for (size_t i = 0; i < merged.size(); ++i) {
-                  if ((*r)[i]) merged[i] = (*r)[i];
-                }
-                if (!ResidualsPass(*p, merged)) continue;
-                out.push_back(std::move(merged));
-                matched = true;
-              }
-            }
-          }
-          if (!matched && p->left_outer) out.push_back(l);
-        }
-        return out;
-      }
-      case opt::PhysicalPlan::Kind::kIndexNLJoin: {
-        LEGODB_ASSIGN_OR_RETURN(std::vector<Binding> outer, Exec(p->left));
-        StoredTable& inner = *tables_[p->rel];
-        inner.EnsureIndex(p->index_column);
-        int outer_rel = p->left_join_rel;
-        int outer_col =
-            tables_[outer_rel]->meta().ColumnIndex(p->left_join_column);
-        if (outer_col < 0) return Status::Internal("bad join column");
-        std::vector<Binding> out;
-        for (const Binding& l : outer) {
-          const Row* row = l[outer_rel];
-          bool matched = false;
-          e_->stats_.seeks += 1;
-          if (row && !(*row)[outer_col].is_null()) {
-            const std::vector<size_t>* hits =
-                inner.Probe(p->index_column, (*row)[outer_col]);
-            if (hits) {
-              e_->stats_.seeks += static_cast<double>(hits->size());
-              e_->stats_.tuples_processed +=
-                  static_cast<double>(hits->size());
-              e_->stats_.bytes_read +=
-                  static_cast<double>(hits->size()) * RowWidth(p->rel);
-              for (size_t idx : *hits) {
-                const Row& irow = inner.rows()[idx];
-                LEGODB_ASSIGN_OR_RETURN(
-                    bool pass, PassFilters(p->rel, irow, p->filters));
-                if (!pass) continue;
-                Binding merged = l;
-                merged[p->rel] = &irow;
-                if (!ResidualsPass(*p, merged)) continue;
-                out.push_back(std::move(merged));
-                matched = true;
-              }
-            }
-          }
-          if (!matched && p->left_outer) out.push_back(l);
-        }
-        return out;
-      }
-      case opt::PhysicalPlan::Kind::kProject:
-        return Status::Internal("nested projection");
-    }
-    return Status::Internal("unknown plan node");
-  }
-
-  Executor* e_;
-  const opt::QueryBlock& block_;
-  std::vector<StoredTable*> tables_;
+  ExecContext ctx_;
 };
 
 StatusOr<xq::ResultSet> Executor::ExecuteBlock(
@@ -316,6 +734,7 @@ StatusOr<xq::ResultSet> Executor::ExecuteQuery(
   if (block_plans.size() != query.blocks.size()) {
     return Status::InvalidArgument("plan count mismatch");
   }
+  profile_.Clear();
   xq::ResultSet result;
   result.labels = query.labels;
   for (size_t i = 0; i < query.blocks.size(); ++i) {

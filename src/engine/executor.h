@@ -1,8 +1,10 @@
 #ifndef LEGODB_ENGINE_EXECUTOR_H_
 #define LEGODB_ENGINE_EXECUTOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "optimizer/plan.h"
@@ -31,21 +33,60 @@ struct ExecStats {
   void Add(const ExecStats& other);
 };
 
-// Interprets physical plans over an in-memory Database. Materializing,
-// tuple-at-a-time; intended for correctness validation and cost-model
-// calibration, not raw speed.
+// Execution knobs.
+struct ExecOptions {
+  // Bindings pulled per operator Next() call. 1 degenerates to
+  // tuple-at-a-time; larger batches amortize per-call overhead.
+  size_t batch_size = 1024;
+  // Record a per-operator estimated-vs-actual profile for each executed
+  // block (see ExecProfile). Off by default: profiles accumulate until
+  // ResetProfile(), which loops calling ExecuteBlock would otherwise grow.
+  bool collect_profile = false;
+};
+
+// One plan operator's estimates next to what execution actually observed.
+struct OpActual {
+  opt::PhysicalPlan::Kind kind = opt::PhysicalPlan::Kind::kSeqScan;
+  std::string label;        // e.g. "SeqScan(show)"
+  double est_rows = 0;      // optimizer cardinality estimate
+  double est_cost = 0;      // optimizer cost estimate (inclusive of inputs)
+  int64_t actual_rows = 0;  // bindings this operator produced
+  double ms = 0;            // inclusive wall time (child pulls included)
+  int depth = 0;            // position in the operator tree (pre-order)
+
+  // Symmetric relative cardinality error: max(est/actual, actual/est),
+  // with both sides floored at one row. 1.0 = perfect estimate.
+  double QError() const;
+};
+
+// Per-operator calibration data for the executed plan(s), in pre-order.
+struct ExecProfile {
+  std::vector<OpActual> ops;
+  void Clear() { ops.clear(); }
+};
+
+// Executes physical plans over an in-memory Database as a pipelined,
+// batch-at-a-time pull engine: operators return fixed-size batches of
+// bindings, only hash-join build sides materialize, and all column offsets
+// and constants are resolved once per operator open (never per row).
+//
+// One Executor serves one query stream on one thread; any number of
+// Executors may share a Database concurrently (the storage index registry
+// is thread-safe, everything else is read-only during execution).
 class Executor {
  public:
-  // `params` binds symbolic query constants (c1, c2, ...). The database is
-  // non-const because hash indexes build lazily.
-  Executor(store::Database* db, std::map<std::string, Value> params = {})
-      : db_(db), params_(std::move(params)) {}
+  // `params` binds symbolic query constants (c1, c2, ...).
+  explicit Executor(store::Database* db,
+                    std::map<std::string, Value> params = {},
+                    ExecOptions options = {})
+      : db_(db), params_(std::move(params)), options_(options) {}
 
   // Executes one planned block; returns rows labelled per block.output.
   StatusOr<xq::ResultSet> ExecuteBlock(const opt::QueryBlock& block,
                                        const opt::PhysicalPlanPtr& plan);
 
-  // Executes a whole translated query (UNION ALL of its blocks).
+  // Executes a whole translated query (UNION ALL of its blocks). Clears the
+  // profile first, so profile() afterwards describes exactly this query.
   StatusOr<xq::ResultSet> ExecuteQuery(
       const opt::RelQuery& query,
       const std::vector<opt::PhysicalPlanPtr>& block_plans);
@@ -53,11 +94,20 @@ class Executor {
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ExecStats(); }
 
+  // Estimated-vs-actual per operator, populated when
+  // ExecOptions::collect_profile is set (appended per executed block).
+  const ExecProfile& profile() const { return profile_; }
+  void ResetProfile() { profile_.Clear(); }
+
+  const ExecOptions& options() const { return options_; }
+
  private:
   friend class BlockExecutor;
   store::Database* db_;
   std::map<std::string, Value> params_;
+  ExecOptions options_;
   ExecStats stats_;
+  ExecProfile profile_;
 };
 
 }  // namespace legodb::engine

@@ -1,0 +1,45 @@
+#ifndef LEGODB_ENGINE_REFERENCE_EXECUTOR_H_
+#define LEGODB_ENGINE_REFERENCE_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "engine/executor.h"
+
+namespace legodb::engine {
+
+// The original materializing, operator-at-a-time interpreter: every
+// operator produces its full intermediate result before its parent starts,
+// and columns are resolved per row. Kept as the semantics baseline — the
+// pipelined Executor must return bit-identical ResultSets (see
+// tests/engine_equivalence_test.cc) — and as the "before" side of the
+// bench/micro_engine speedup measurement. Not intended for production use.
+class ReferenceExecutor {
+ public:
+  // `params` binds symbolic query constants (c1, c2, ...).
+  explicit ReferenceExecutor(store::Database* db,
+                             std::map<std::string, Value> params = {})
+      : db_(db), params_(std::move(params)) {}
+
+  // Executes one planned block; returns rows labelled per block.output.
+  StatusOr<xq::ResultSet> ExecuteBlock(const opt::QueryBlock& block,
+                                       const opt::PhysicalPlanPtr& plan);
+
+  // Executes a whole translated query (UNION ALL of its blocks).
+  StatusOr<xq::ResultSet> ExecuteQuery(
+      const opt::RelQuery& query,
+      const std::vector<opt::PhysicalPlanPtr>& block_plans);
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats(); }
+
+ private:
+  friend class ReferenceBlockExecutor;
+  store::Database* db_;
+  std::map<std::string, Value> params_;
+  ExecStats stats_;
+};
+
+}  // namespace legodb::engine
+
+#endif  // LEGODB_ENGINE_REFERENCE_EXECUTOR_H_

@@ -49,6 +49,15 @@ Counter* Registry::counter(std::string_view name) {
   return it->second.get();
 }
 
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
 Histogram* Registry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -93,6 +102,9 @@ Report Registry::Snapshot() const {
   }
   for (const auto& [name, counter] : counters_) {
     report.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    report.gauges.push_back({name, gauge->value()});
   }
   for (const auto& [name, hist] : histograms_) {
     Histogram::Snapshot s = hist->snapshot();
@@ -156,6 +168,13 @@ int64_t Report::CounterValue(std::string_view name) const {
   return 0;
 }
 
+double Report::GaugeValue(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
 const Report::HistogramEntry* Report::FindHistogram(
     std::string_view name) const {
   for (const auto& h : histograms) {
@@ -193,6 +212,9 @@ std::string Report::MetricsTable() const {
   TablePrinter table({"metric", "count", "mean", "min", "max", "sum"});
   for (const auto& c : counters) {
     table.AddRow({c.name, std::to_string(c.value), "", "", "", ""});
+  }
+  for (const auto& g : gauges) {
+    table.AddRow({g.name, "", FormatDouble(g.value, 3), "", "", ""});
   }
   for (const auto& h : histograms) {
     double mean = h.count == 0 ? 0 : h.sum / static_cast<double>(h.count);
@@ -267,6 +289,13 @@ std::string Report::ToJson() const {
     out += ": " + std::to_string(counters[i].value);
   }
   out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, gauges[i].name);
+    out += ": " + JsonDouble(gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
   for (size_t i = 0; i < histograms.size(); ++i) {
     const HistogramEntry& h = histograms[i];
@@ -312,6 +341,8 @@ class JsonParser {
         LEGODB_RETURN_IF_ERROR(ParseSpans(&report));
       } else if (key == "counters") {
         LEGODB_RETURN_IF_ERROR(ParseCounters(&report));
+      } else if (key == "gauges") {
+        LEGODB_RETURN_IF_ERROR(ParseGauges(&report));
       } else if (key == "histograms") {
         LEGODB_RETURN_IF_ERROR(ParseHistograms(&report));
       } else if (key == "dropped_spans") {
@@ -454,6 +485,25 @@ class JsonParser {
       SkipWs();
       LEGODB_ASSIGN_OR_RETURN(entry.value, ParseInt());
       report->counters.push_back(std::move(entry));
+    }
+  }
+
+  Status ParseGauges(Report* report) {
+    if (!Consume('{')) return Err("expected '{'");
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!first && !Consume(',')) return Err("expected ','");
+      first = false;
+      SkipWs();
+      Report::GaugeEntry entry;
+      LEGODB_ASSIGN_OR_RETURN(entry.name, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      LEGODB_ASSIGN_OR_RETURN(entry.value, ParseNumber());
+      report->gauges.push_back(std::move(entry));
     }
   }
 

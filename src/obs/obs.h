@@ -3,11 +3,13 @@
 
 // Header-light tracing + metrics library for the mapping engine.
 //
-// Three primitives, all recorded into an obs::Registry:
+// Four primitives, all recorded into an obs::Registry:
 //  - Span: RAII scoped timer with parent/child nesting (per thread); the
 //    finished spans form the trace of a run (search iterations, phases).
 //  - Counter: monotonically increasing integer (candidates evaluated,
 //    cache hits, rows produced).
+//  - Gauge: last-value-wins double for computed results (calibration
+//    correlations, q-error summaries).
 //  - Histogram: count/sum/min/max aggregate of observed values (per-query
 //    planning milliseconds, memo sizes).
 //
@@ -28,7 +30,7 @@
 //   std::cout << report.SpanTable() << report.MetricsTable();
 //   std::string json = report.ToJson();     // round-trips via ReportFromJson
 //
-// Registry, Counter and Histogram are thread-safe; span parent/child
+// Registry, Counter, Gauge and Histogram are thread-safe; span parent/child
 // nesting is tracked per thread (spans opened on different threads attach
 // to that thread's innermost open span, or become roots).
 
@@ -77,6 +79,25 @@ class Histogram {
   Snapshot s_;
 };
 
+// Last-value-wins metric for computed results (calibration correlations,
+// q-error summaries): unlike a Counter it holds a double, unlike a
+// Histogram it keeps only the most recent value.
+class Gauge {
+ public:
+  void Set(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = value;
+  }
+  double value() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0;
+};
+
 // One finished (or still-open at snapshot time) span.
 struct SpanRecord {
   std::string name;
@@ -100,9 +121,14 @@ struct Report {
     double min = 0;
     double max = 0;
   };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0;
+  };
 
   std::vector<SpanRecord> spans;
   std::vector<CounterEntry> counters;      // sorted by name
+  std::vector<GaugeEntry> gauges;          // sorted by name
   std::vector<HistogramEntry> histograms;  // sorted by name
   int64_t dropped_spans = 0;               // spans beyond the registry cap
 
@@ -114,6 +140,7 @@ struct Report {
 
   // Lookup helpers; zero / nullptr when absent.
   int64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
   const HistogramEntry* FindHistogram(std::string_view name) const;
   // Total duration (ms) of all spans with this name.
   double SpanTotalMillis(std::string_view name) const;
@@ -130,6 +157,7 @@ class Registry {
 
   // Finds or creates; returned pointers stay valid for the registry's life.
   Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
 
   Report Snapshot() const;
@@ -149,6 +177,7 @@ class Registry {
   int64_t dropped_spans_ = 0;
   std::vector<SpanRecord> spans_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
@@ -190,6 +219,9 @@ inline void Count(std::string_view name, int64_t delta = 1) {
 }
 inline void Observe(std::string_view name, double value) {
   if (Registry* r = Current()) r->histogram(name)->Observe(value);
+}
+inline void SetGauge(std::string_view name, double value) {
+  if (Registry* r = Current()) r->gauge(name)->Set(value);
 }
 
 // RAII timer observing elapsed milliseconds into an ambient histogram —

@@ -4,46 +4,68 @@
 
 namespace legodb::store {
 
+const std::vector<size_t> HashIndex::kEmpty;
+
+HashIndex::HashIndex(const std::vector<Row>& rows, int column_index) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Value& v = rows[i][static_cast<size_t>(column_index)];
+    if (v.is_null()) continue;
+    map_[v].push_back(i);
+  }
+}
+
 void StoredTable::Insert(Row row) {
   LEGODB_CHECK(row.size() == meta_.columns.size(),
                "StoredTable::Insert: row arity mismatch");
   rows_.push_back(std::move(row));
-  indexes_.clear();  // indexes are rebuilt lazily after loading
+  std::lock_guard<std::mutex> lock(index_mu_);
+  indexes_.clear();  // indexes are rebuilt on first use after loading
 }
 
 void StoredTable::RemoveLastRows(size_t n) {
   LEGODB_CHECK(n <= rows_.size(),
                "StoredTable::RemoveLastRows: more rows than stored");
   rows_.resize(rows_.size() - n);
+  std::lock_guard<std::mutex> lock(index_mu_);
   indexes_.clear();
 }
 
-void StoredTable::EnsureIndex(const std::string& column) {
-  if (indexes_.count(column)) return;
+StatusOr<const HashIndex*> StoredTable::GetOrBuildIndex(
+    const std::string& column) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = indexes_.find(column);
+  if (it != indexes_.end()) return static_cast<const HashIndex*>(it->second.get());
   int idx = meta_.ColumnIndex(column);
-  LEGODB_CHECK(idx >= 0, "EnsureIndex: unknown column");
-  auto& index = indexes_[column];
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    const Value& v = rows_[i][idx];
-    if (v.is_null()) continue;
-    index[v].push_back(i);
+  if (idx < 0) {
+    return Status::Internal("no column '" + column + "' in table '" +
+                            meta_.name + "' to index");
   }
+  auto built = std::make_unique<HashIndex>(rows_, idx);
+  const HashIndex* result = built.get();
+  indexes_.emplace(column, std::move(built));
+  return result;
+}
+
+void StoredTable::EnsureIndex(const std::string& column) {
+  StatusOr<const HashIndex*> index = GetOrBuildIndex(column);
+  LEGODB_CHECK(index.ok(), "EnsureIndex: unknown column");
 }
 
 bool StoredTable::HasIndex(const std::string& column) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
   return indexes_.count(column) > 0;
 }
 
 const std::vector<size_t>* StoredTable::Probe(const std::string& column,
                                               const Value& key) const {
-  auto table_it = indexes_.find(column);
-  if (table_it == indexes_.end()) return nullptr;
-  auto it = table_it->second.find(key);
-  if (it == table_it->second.end()) {
-    static const std::vector<size_t> kEmpty;
-    return &kEmpty;
+  const HashIndex* index = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    auto it = indexes_.find(column);
+    if (it == indexes_.end()) return nullptr;
+    index = it->second.get();
   }
-  return &it->second;
+  return &index->Find(key);
 }
 
 Database::Database(const rel::Catalog& catalog) {
@@ -72,6 +94,19 @@ const StoredTable& Database::GetTable(const std::string& name) const {
   const StoredTable* t = FindTable(name);
   LEGODB_CHECK(t != nullptr, "Database::GetTable: unknown table");
   return *t;
+}
+
+Status Database::PrewarmIndexes() {
+  for (auto& [name, table] : tables_) {
+    if (!table.meta().key_column.empty()) {
+      LEGODB_RETURN_IF_ERROR(
+          table.GetOrBuildIndex(table.meta().key_column).status());
+    }
+    for (const auto& fk : table.meta().foreign_keys) {
+      LEGODB_RETURN_IF_ERROR(table.GetOrBuildIndex(fk.column).status());
+    }
+  }
+  return Status::OK();
 }
 
 size_t Database::TotalRows() const {

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,33 +17,67 @@ namespace legodb::store {
 
 using Row = std::vector<Value>;
 
-// An in-memory heap table with optional hash indexes, laid out per the
-// catalog's column order.
+// An equality (hash) index over one column of a StoredTable. Immutable once
+// built — built under the table's registry lock and published as a const
+// pointer, so any number of concurrent queries may probe it without further
+// synchronization.
+class HashIndex {
+ public:
+  HashIndex(const std::vector<Row>& rows, int column_index);
+
+  // Row indices whose indexed column equals `key`; empty vector when none.
+  const std::vector<size_t>& Find(const Value& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? kEmpty : it->second;
+  }
+
+  size_t distinct_keys() const { return map_.size(); }
+
+ private:
+  static const std::vector<size_t> kEmpty;
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> map_;
+};
+
+// An in-memory heap table with hash indexes, laid out per the catalog's
+// column order. Loading (Insert/RemoveLastRows) must be single-threaded and
+// finish before query serving starts; after that, any number of threads may
+// read rows and fetch/build indexes concurrently — the index registry is
+// internally synchronized, and published HashIndex pointers stay valid until
+// the next mutation.
 class StoredTable {
  public:
   explicit StoredTable(rel::Table meta) : meta_(std::move(meta)) {}
+  StoredTable(StoredTable&& other) noexcept
+      : meta_(std::move(other.meta_)),
+        rows_(std::move(other.rows_)),
+        indexes_(std::move(other.indexes_)) {}
 
   const rel::Table& meta() const { return meta_; }
   const std::vector<Row>& rows() const { return rows_; }
   size_t row_count() const { return rows_.size(); }
 
-  // Appends a row; must have one value per column.
+  // Appends a row; must have one value per column. Invalidates indexes.
   void Insert(Row row);
   void RemoveLastRows(size_t n);  // shredder rollback support
 
-  // Builds (or reuses) a hash index on `column`; invalidated by inserts.
+  // Returns the index on `column`, building it on first use (thread-safe).
+  // Internal error when the column does not exist in this table.
+  StatusOr<const HashIndex*> GetOrBuildIndex(const std::string& column);
+
+  // Legacy convenience used by the reconstructor and tests: builds (or
+  // reuses) the index, aborting on unknown columns.
   void EnsureIndex(const std::string& column);
   bool HasIndex(const std::string& column) const;
-  // Row indices whose `column` equals `key` (empty if none / no index).
+  // Row indices whose `column` equals `key` (nullptr when no index built;
+  // pointer to an empty vector when the key is absent).
   const std::vector<size_t>* Probe(const std::string& column,
                                    const Value& key) const;
 
  private:
   rel::Table meta_;
   std::vector<Row> rows_;
-  std::map<std::string,
-           std::unordered_map<Value, std::vector<size_t>, ValueHash>>
-      indexes_;
+  mutable std::mutex index_mu_;
+  std::map<std::string, std::unique_ptr<HashIndex>> indexes_;
 };
 
 // A relational database instance for one storage configuration.
@@ -54,6 +90,11 @@ class Database {
   const StoredTable* FindTable(const std::string& name) const;
   StoredTable& GetTable(const std::string& name);
   const StoredTable& GetTable(const std::string& name) const;
+
+  // Builds the primary-key and foreign-key indexes of every table up front,
+  // so concurrent queries never pay (or contend on) a first-use build.
+  // Call after loading, before serving.
+  Status PrewarmIndexes();
 
   // Fresh unique id for a new row (shared across tables, like the paper's
   // element node ids).

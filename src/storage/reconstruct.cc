@@ -1,7 +1,6 @@
 #include "storage/reconstruct.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "obs/obs.h"
 #include "pschema/pschema.h"

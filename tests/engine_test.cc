@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/executor.h"
+#include "engine/reference_executor.h"
 #include "mapping/mapping.h"
 #include "optimizer/optimizer.h"
 #include "pschema/pschema.h"
@@ -229,6 +230,148 @@ TEST_F(EngineTest, RejectsPlanWithoutProjection) {
   scan->rel = 0;
   Executor exec(db_.get());
   EXPECT_FALSE(exec.ExecuteBlock(ChildBlock(), scan).ok());
+}
+
+// --- Unknown-column regression --------------------------------------------
+// A filter or residual naming a column the catalog doesn't have means the
+// translator and catalog drifted apart; the seed executor silently dropped
+// every row. Both executors must fail loudly, naming the table and column.
+
+opt::PhysicalPlanPtr ScanProjectPlan(
+    int rel, const std::vector<opt::FilterPred>& filters) {
+  auto scan = std::make_shared<PhysicalPlan>();
+  scan->kind = PhysicalPlan::Kind::kSeqScan;
+  scan->rel = rel;
+  scan->filters = filters;
+  auto project = std::make_shared<PhysicalPlan>();
+  project->kind = PhysicalPlan::Kind::kProject;
+  project->child = scan;
+  return project;
+}
+
+TEST_F(EngineTest, UnknownFilterColumnIsAnErrorNotEmptyResult) {
+  opt::QueryBlock b = ChildBlock();
+  b.filters.push_back(
+      opt::FilterPred{0, "bogus", xq::CompareOp::kEq, xq::Constant::Str("x")});
+  opt::PhysicalPlanPtr plan = ScanProjectPlan(0, b.filters);
+
+  Executor exec(db_.get());
+  auto r = exec.ExecuteBlock(b, plan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("C.bogus"), std::string::npos)
+      << r.status().ToString();
+
+  ReferenceExecutor ref(db_.get());
+  auto rr = ref.ExecuteBlock(b, plan);
+  ASSERT_FALSE(rr.ok());
+  EXPECT_NE(rr.status().ToString().find("C.bogus"), std::string::npos)
+      << rr.status().ToString();
+}
+
+// Hand-built hash join P (probe) x C (build) on P_id = parent_P.
+opt::PhysicalPlanPtr HashJoinPlan(bool left_outer,
+                                  std::vector<opt::JoinEdge> residuals,
+                                  std::vector<opt::FilterPred> build_filters =
+                                      {}) {
+  auto probe = std::make_shared<PhysicalPlan>();
+  probe->kind = PhysicalPlan::Kind::kSeqScan;
+  probe->rel = 0;
+  auto build = std::make_shared<PhysicalPlan>();
+  build->kind = PhysicalPlan::Kind::kSeqScan;
+  build->rel = 1;
+  build->filters = std::move(build_filters);
+  auto join = std::make_shared<PhysicalPlan>();
+  join->kind = PhysicalPlan::Kind::kHashJoin;
+  join->left = probe;
+  join->right = build;
+  join->left_join_rel = 0;
+  join->left_join_column = "P_id";
+  join->right_join_rel = 1;
+  join->right_join_column = "parent_P";
+  join->left_outer = left_outer;
+  join->residual_joins = std::move(residuals);
+  auto project = std::make_shared<PhysicalPlan>();
+  project->kind = PhysicalPlan::Kind::kProject;
+  project->child = join;
+  return project;
+}
+
+TEST_F(EngineTest, UnknownResidualColumnIsAnErrorNotEmptyResult) {
+  opt::QueryBlock b = JoinBlock(false);
+  opt::PhysicalPlanPtr plan =
+      HashJoinPlan(false, {opt::JoinEdge{0, "bogus", 1, "parent_P", false}});
+
+  Executor exec(db_.get());
+  auto r = exec.ExecuteBlock(b, plan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("P.bogus"), std::string::npos)
+      << r.status().ToString();
+
+  ReferenceExecutor ref(db_.get());
+  auto rr = ref.ExecuteBlock(b, plan);
+  ASSERT_FALSE(rr.ok());
+  EXPECT_NE(rr.status().ToString().find("P.bogus"), std::string::npos)
+      << rr.status().ToString();
+}
+
+// --- Outer join vs. residual predicates -----------------------------------
+// When every hash match fails the residual predicate, the probe row must
+// be preserved exactly once (not once per failed match, not dropped).
+
+TEST_F(EngineTest, OuterJoinPreservesRowOnceWhenAllResidualsFail) {
+  opt::QueryBlock b = JoinBlock(true);
+  // P_id (1) never equals C.size (10, NULL, 30): every one of the three
+  // hash matches fails the residual.
+  opt::PhysicalPlanPtr plan =
+      HashJoinPlan(true, {opt::JoinEdge{0, "P_id", 1, "size", false}});
+
+  for (size_t batch_size : {size_t{1}, size_t{4}, size_t{1024}}) {
+    ExecOptions options;
+    options.batch_size = batch_size;
+    Executor exec(db_.get(), {}, options);
+    auto r = exec.ExecuteBlock(b, plan);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u) << "batch_size=" << batch_size;
+    EXPECT_TRUE(r->rows[0][0].is_null());
+  }
+
+  ReferenceExecutor ref(db_.get());
+  auto rr = ref.ExecuteBlock(b, plan);
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  ASSERT_EQ(rr->rows.size(), 1u);
+  EXPECT_TRUE(rr->rows[0][0].is_null());
+}
+
+TEST_F(EngineTest, OuterJoinResidualFailureWithMaterializedBuildSide) {
+  // A filter on the build side forces the materializing (non-shared-index)
+  // hash-join path; the outer row must still survive exactly once.
+  opt::QueryBlock b = JoinBlock(true);
+  opt::FilterPred not_null;
+  not_null.rel = 1;
+  not_null.column = "size";
+  not_null.not_null = true;
+  opt::PhysicalPlanPtr plan =
+      HashJoinPlan(true, {opt::JoinEdge{0, "P_id", 1, "size", false}},
+                   {not_null});
+
+  Executor exec(db_.get());
+  auto r = exec.ExecuteBlock(b, plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_TRUE(r->rows[0][0].is_null());
+}
+
+TEST_F(EngineTest, OuterJoinStillEmitsMatchesThatPassResiduals) {
+  // A residual that compares a column to itself passes on every match:
+  // all three children join, no NULL-preserved row appears.
+  opt::QueryBlock b = JoinBlock(true);
+  opt::PhysicalPlanPtr plan =
+      HashJoinPlan(true, {opt::JoinEdge{1, "name", 1, "name", false}});
+  Executor exec(db_.get());
+  auto r = exec.ExecuteBlock(b, plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 3u);
+  for (const auto& row : r->rows) EXPECT_FALSE(row[0].is_null());
 }
 
 }  // namespace

@@ -168,6 +168,8 @@ Report MakeSampleReport() {
     Span inner("phase.inner");
     Count("candidates", 42);
     Count("cache_hits", 7);
+    SetGauge("calibration.spearman", 0.75);
+    SetGauge("calibration.spearman", 0.875);  // last value wins
     Observe("plan_ms", 0.125);
     Observe("plan_ms", 3.5);
     Observe("memo_size", 17);
@@ -193,6 +195,11 @@ TEST(ReportTest, JsonRoundTrip) {
     EXPECT_EQ(parsed->counters[i].name, report.counters[i].name);
     EXPECT_EQ(parsed->counters[i].value, report.counters[i].value);
   }
+  ASSERT_EQ(parsed->gauges.size(), report.gauges.size());
+  for (size_t i = 0; i < report.gauges.size(); ++i) {
+    EXPECT_EQ(parsed->gauges[i].name, report.gauges[i].name);
+    EXPECT_DOUBLE_EQ(parsed->gauges[i].value, report.gauges[i].value);
+  }
   ASSERT_EQ(parsed->histograms.size(), report.histograms.size());
   for (size_t i = 0; i < report.histograms.size(); ++i) {
     EXPECT_EQ(parsed->histograms[i].name, report.histograms[i].name);
@@ -212,6 +219,7 @@ TEST(ReportTest, EmptyReportRoundTrips) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_TRUE(parsed->spans.empty());
   EXPECT_TRUE(parsed->counters.empty());
+  EXPECT_TRUE(parsed->gauges.empty());
   EXPECT_TRUE(parsed->histograms.empty());
 }
 
@@ -228,6 +236,8 @@ TEST(ReportTest, LookupHelpersAndTables) {
   EXPECT_EQ(report.CounterValue("candidates"), 42);
   EXPECT_EQ(report.CounterValue("cache_hits"), 7);
   EXPECT_EQ(report.CounterValue("nonexistent"), 0);
+  EXPECT_DOUBLE_EQ(report.GaugeValue("calibration.spearman"), 0.875);
+  EXPECT_DOUBLE_EQ(report.GaugeValue("nonexistent"), 0.0);
   EXPECT_GT(report.SpanTotalMillis("phase \"one\""), 0.0);
   EXPECT_DOUBLE_EQ(report.SpanTotalMillis("nonexistent"), 0.0);
 
@@ -235,6 +245,7 @@ TEST(ReportTest, LookupHelpersAndTables) {
   EXPECT_NE(spans.find("phase.inner"), std::string::npos);
   std::string metrics = report.MetricsTable();
   EXPECT_NE(metrics.find("candidates"), std::string::npos);
+  EXPECT_NE(metrics.find("calibration.spearman"), std::string::npos);
   EXPECT_NE(metrics.find("plan_ms"), std::string::npos);
 }
 

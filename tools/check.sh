@@ -12,8 +12,10 @@
 # --tsan builds into build-tsan with -DLEGODB_SANITIZE=thread and runs the
 # tests exercising the parallel search (search_test, plus the transform and
 # pipeline suites that feed it, and robustness_test for budget cancellation
-# and failpoints under threads) with halt_on_error=1, so any reported data
-# race fails the script.
+# and failpoints under threads) and the concurrent query serving path
+# (engine_equivalence_test races executors over one Database's index
+# registry) with halt_on_error=1, so any reported data race fails the
+# script.
 #
 # --release-checks builds into build-release with -DCMAKE_BUILD_TYPE=Release
 # and runs the suites covering invariant checks and malformed inputs. This
@@ -26,10 +28,11 @@ if [[ "${1:-}" == "--tsan" ]]; then
   shift
   cmake -B build-tsan -S . -DLEGODB_SANITIZE=thread "$@"
   cmake --build build-tsan -j"$(nproc)" --target \
-    search_test transforms_test pipeline_test robustness_test
+    search_test transforms_test pipeline_test robustness_test \
+    engine_equivalence_test
   export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
   ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R 'search_test|transforms_test|pipeline_test|robustness_test'
+    -R 'search_test|transforms_test|pipeline_test|robustness_test|engine_equivalence_test'
   exit 0
 fi
 
@@ -47,3 +50,6 @@ fi
 cmake -B build -S . "$@"
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+# Calibration smoke: the estimated-vs-measured report must run end to end
+# (low rep count; the numbers are not checked here, only that it works).
+./build/bench/calibration --reps=2 > /dev/null
