@@ -9,6 +9,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/cost.h"
 #include "core/transforms.h"
@@ -36,17 +39,69 @@ T Unwrap(StatusOr<T> v, const char* what) {
   return std::move(v).value();
 }
 
+// Best-effort git revision of the working tree ("describe --always
+// --dirty"), or "unknown" outside a checkout / without git. Shelling out is
+// fine here: this runs once per bench process, not per measurement.
+inline std::string GitDescribe() {
+  std::string out;
+#if !defined(_WIN32)
+  if (FILE* pipe =
+          popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    while (fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+    pclose(pipe);
+  }
+#endif
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+inline const char* BuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 // Installs an obs::Registry for the harness's lifetime, so spans / counters
 // / histograms recorded anywhere in the pipeline (search iterations,
 // optimizer planning time, translation time) accumulate here. WriteJson
 // dumps the obs::Report in the same format `legodb --metrics-out` emits —
 // BENCH_*.json trajectories get phase-level timings, not just totals.
+//
+// Every report is stamped with run provenance (workload name, git revision,
+// build type, hardware threads) so `bench_report` can merge and compare
+// trajectories across commits; SetMeta adds or overrides entries.
 class ObsSession {
  public:
-  ObsSession() : scope_(&registry_) {}
+  explicit ObsSession(std::string workload = "") : scope_(&registry_) {
+    SetMeta("workload", std::move(workload));
+    SetMeta("git", GitDescribe());
+    SetMeta("build", BuildType());
+    SetMeta("hardware_threads",
+            std::to_string(std::thread::hardware_concurrency()));
+  }
 
   obs::Registry* registry() { return &registry_; }
-  obs::Report Snapshot() const { return registry_.Snapshot(); }
+
+  void SetMeta(const std::string& key, std::string value) {
+    for (auto& kv : meta_) {
+      if (kv.first == key) {
+        kv.second = std::move(value);
+        return;
+      }
+    }
+    meta_.emplace_back(key, std::move(value));
+  }
+
+  obs::Report Snapshot() const {
+    obs::Report report = registry_.Snapshot();
+    for (const auto& kv : meta_) report.SetMeta(kv.first, kv.second);
+    return report;
+  }
 
   void WriteJson(const std::string& path) const {
     std::ofstream out(path);
@@ -61,6 +116,7 @@ class ObsSession {
  private:
   obs::Registry registry_;
   obs::ScopedRegistry scope_;
+  std::vector<std::pair<std::string, std::string>> meta_;
 };
 
 // Raw IMDB schema (un-annotated).

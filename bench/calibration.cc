@@ -178,7 +178,7 @@ void RunDomain(const std::string& domain, const map::Mapping& mapping,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ObsSession obs_session;
+  bench::ObsSession obs_session("calibration");
   size_t batch_size = 1024;
   int scale = 1;
   int reps = 20;

@@ -20,7 +20,7 @@
 using namespace legodb;
 
 int main(int argc, char** argv) {
-  bench::ObsSession obs_session;
+  bench::ObsSession obs_session("fig10_greedy");
   int threads = 0;  // 0 = hardware concurrency
   std::string json_out;
   for (int i = 1; i < argc; ++i) {

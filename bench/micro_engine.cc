@@ -1,6 +1,15 @@
 // Google-benchmark microbenchmarks of the substrate components: XML
 // parsing, validation, shredding, reconstruction, and query execution.
+//
+// The reference-vs-batched executor equality check runs unconditionally in
+// main() before any benchmark (even with --benchmark_filter), and a
+// mismatch exits nonzero. `--obs-out=FILE` writes the run's obs::Report
+// (provenance-stamped; see bench::ObsSession) there as JSON.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "engine/executor.h"
@@ -115,11 +124,11 @@ Fig10Workload& SharedFig10() {
   return *workload;
 }
 
-// The seed materializing interpreter over the fig10 workload: the "before"
-// side of the pipelined-executor speedup claim.
-void BM_Fig10Reference(benchmark::State& state) {
+// Both executors must agree row for row before any timing counts. Called
+// from main() so the check runs even when --benchmark_filter excludes the
+// benchmarks that use the workload; exits nonzero on mismatch.
+void VerifyFig10() {
   Fig10Workload& w = SharedFig10();
-  // Both sides must agree row for row before either timing counts.
   for (size_t i = 0; i < w.queries.size(); ++i) {
     engine::ReferenceExecutor ref(&w.db, w.params);
     engine::Executor batched(&w.db, w.params);
@@ -133,6 +142,12 @@ void BM_Fig10Reference(benchmark::State& state) {
       std::exit(1);
     }
   }
+}
+
+// The seed materializing interpreter over the fig10 workload: the "before"
+// side of the pipelined-executor speedup claim.
+void BM_Fig10Reference(benchmark::State& state) {
+  Fig10Workload& w = SharedFig10();
   for (auto _ : state) {
     for (size_t i = 0; i < w.queries.size(); ++i) {
       engine::ReferenceExecutor exec(&w.db, w.params);
@@ -182,4 +197,35 @@ BENCHMARK(BM_ExecuteLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so the correctness gate always runs
+// and the obs report can be written after the benchmarks.
+int main(int argc, char** argv) {
+  // Strip --obs-out before google-benchmark sees the arguments (it rejects
+  // flags it does not know).
+  std::string obs_out;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--obs-out=", 10) == 0) {
+      obs_out = argv[i] + 10;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  // Ambient metrics only when a report was asked for: the per-operator
+  // timing wrappers activate whenever a registry is installed, and that
+  // overhead must not leak into the default benchmark numbers.
+  std::optional<bench::ObsSession> obs_session;
+  if (!obs_out.empty()) obs_session.emplace("micro_engine");
+
+  VerifyFig10();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!obs_out.empty()) obs_session->WriteJson(obs_out);
+  return 0;
+}

@@ -30,11 +30,14 @@ StatusOr<xs::Schema> MappingEngine::AnnotatedSchema() const {
 
 StatusOr<MappingEngine::Result> MappingEngine::FindBestConfiguration(
     const SearchOptions& options) const {
-  // A private registry for this run; the ambient registry (if any) is
-  // restored on exit and the snapshot travels with the result.
-  obs::Registry registry;
+  // Record against the caller's ambient registry when one is installed
+  // (so a CLI/bench session sees search and execution in one trace);
+  // otherwise a private registry scoped to this run. Either way the
+  // snapshot travels with the result.
+  obs::Registry local;
+  obs::Registry* registry = obs::Current() ? obs::Current() : &local;
   StatusOr<Result> result = [&]() -> StatusOr<Result> {
-    obs::ScopedRegistry scoped(&registry);
+    obs::ScopedRegistry scoped(registry);
     obs::Span total("find_best_configuration");
     xs::Schema annotated;
     {
@@ -51,7 +54,7 @@ StatusOr<MappingEngine::Result> MappingEngine::FindBestConfiguration(
     }
     return Result{std::move(search), std::move(mapping), obs::Report{}};
   }();
-  if (result.ok()) result->report = registry.Snapshot();
+  if (result.ok()) result->report = registry->Snapshot();
   return result;
 }
 

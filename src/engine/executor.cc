@@ -216,26 +216,34 @@ class Operator {
   virtual Status Open() = 0;
   virtual Status Next(Batch* out) = 0;
 
-  // Open/Next wrappers accumulating produced rows and inclusive wall time
-  // (child pulls included, mirroring the optimizer's inclusive est_cost).
+  // Open/Next wrappers accumulating produced rows, batches, inclusive wall
+  // time and inclusive seeks (child pulls included, mirroring the
+  // optimizer's inclusive est_cost).
   Status OpenTimed() {
     if (!ctx_->timed) return Open();
     int64_t t0 = obs::NowNanos();
+    double seeks0 = ctx_->stats->seeks;
     Status s = Open();
     ns_ += obs::NowNanos() - t0;
+    seeks_ += ctx_->stats->seeks - seeks0;
     return s;
   }
   Status NextTimed(Batch* out) {
     if (!ctx_->timed) return Next(out);
     int64_t t0 = obs::NowNanos();
+    double seeks0 = ctx_->stats->seeks;
     Status s = Next(out);
     ns_ += obs::NowNanos() - t0;
+    seeks_ += ctx_->stats->seeks - seeks0;
     rows_ += static_cast<int64_t>(out->size());
+    ++batches_;
     return s;
   }
 
   const opt::PhysicalPlan* node() const { return node_; }
   int64_t rows_produced() const { return rows_; }
+  int64_t batches() const { return batches_; }
+  double seeks() const { return seeks_; }
   double millis() const { return static_cast<double>(ns_) / 1e6; }
 
  protected:
@@ -254,7 +262,9 @@ class Operator {
 
  private:
   int64_t rows_ = 0;
+  int64_t batches_ = 0;
   int64_t ns_ = 0;
+  double seeks_ = 0;
 };
 
 class SeqScanOp : public Operator {
@@ -661,25 +671,36 @@ class BlockExecutor {
     }
 
     int64_t t0 = ctx_.timed ? obs::NowNanos() : 0;
-    LEGODB_RETURN_IF_ERROR(root->OpenTimed());
-    Batch batch;
-    do {
-      LEGODB_RETURN_IF_ERROR(root->NextTimed(&batch));
-      for (const Binding& binding : batch) {
-        std::vector<Value> row;
-        row.reserve(outputs.size());
-        for (const Output& o : outputs) {
-          if (o.rel < 0 || o.col < 0 || binding[o.rel] == nullptr) {
-            row.push_back(Value::MakeNull());
-            continue;
+    int64_t root_batches = 0;
+    {
+      // Trace slice for the open phase (filter compilation, hash-join
+      // build); no-op without an ambient registry.
+      obs::Span open_span("exec.open");
+      LEGODB_RETURN_IF_ERROR(root->OpenTimed());
+    }
+    {
+      // Trace slice for the pull/projection phase, sibling of exec.open.
+      obs::Span next_span("exec.next");
+      Batch batch;
+      do {
+        LEGODB_RETURN_IF_ERROR(root->NextTimed(&batch));
+        ++root_batches;
+        for (const Binding& binding : batch) {
+          std::vector<Value> row;
+          row.reserve(outputs.size());
+          for (const Output& o : outputs) {
+            if (o.rel < 0 || o.col < 0 || binding[o.rel] == nullptr) {
+              row.push_back(Value::MakeNull());
+              continue;
+            }
+            row.push_back((*binding[o.rel])[o.col]);
           }
-          row.push_back((*binding[o.rel])[o.col]);
+          for (const Value& v : row) e->stats_.bytes_out += v.ByteSize();
+          e->stats_.rows_out += 1;
+          result.rows.push_back(std::move(row));
         }
-        for (const Value& v : row) e->stats_.bytes_out += v.ByteSize();
-        e->stats_.rows_out += 1;
-        result.rows.push_back(std::move(row));
-      }
-    } while (!batch.empty());
+      } while (!batch.empty());
+    }
     double total_ms =
         ctx_.timed ? static_cast<double>(obs::NowNanos() - t0) / 1e6 : 0;
 
@@ -698,6 +719,8 @@ class BlockExecutor {
       project.est_rows = plan->est_rows;
       project.est_cost = plan->est_cost;
       project.actual_rows = static_cast<int64_t>(result.rows.size());
+      project.batches = root_batches;
+      project.seeks = root->seeks();
       project.ms = total_ms;
       project.depth = 0;
       e->profile_.ops.push_back(std::move(project));
@@ -709,6 +732,8 @@ class BlockExecutor {
         actual.est_rows = op->node()->est_rows;
         actual.est_cost = op->node()->est_cost;
         actual.actual_rows = op->rows_produced();
+        actual.batches = op->batches();
+        actual.seeks = op->seeks();
         actual.ms = op->millis();
         actual.depth = depths[i];
         e->profile_.ops.push_back(std::move(actual));
@@ -723,6 +748,9 @@ class BlockExecutor {
 
 StatusOr<xq::ResultSet> Executor::ExecuteBlock(
     const opt::QueryBlock& block, const opt::PhysicalPlanPtr& plan) {
+  // A trace slice per executed block (the exec.open / exec.next phase
+  // slices nest under it), plus the aggregate histogram/counter.
+  obs::Span span("exec.block");
   obs::ScopedTimer timer("exec.block_ms");
   obs::Count("exec.blocks");
   return BlockExecutor(this, block).Run(plan);

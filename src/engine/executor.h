@@ -51,6 +51,8 @@ struct OpActual {
   double est_rows = 0;      // optimizer cardinality estimate
   double est_cost = 0;      // optimizer cost estimate (inclusive of inputs)
   int64_t actual_rows = 0;  // bindings this operator produced
+  int64_t batches = 0;      // Next() calls answered (incl. the empty EOS)
+  double seeks = 0;         // inclusive index/scan probes (child ops incl.)
   double ms = 0;            // inclusive wall time (child pulls included)
   int depth = 0;            // position in the operator tree (pre-order)
 

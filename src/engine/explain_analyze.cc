@@ -1,0 +1,96 @@
+#include "engine/explain_analyze.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace legodb::engine {
+
+namespace {
+
+const char* KindName(opt::PhysicalPlan::Kind kind) {
+  switch (kind) {
+    case opt::PhysicalPlan::Kind::kSeqScan:
+      return "SeqScan";
+    case opt::PhysicalPlan::Kind::kIndexLookup:
+      return "IndexLookup";
+    case opt::PhysicalPlan::Kind::kHashJoin:
+      return "HashJoin";
+    case opt::PhysicalPlan::Kind::kIndexNLJoin:
+      return "IndexNLJoin";
+    case opt::PhysicalPlan::Kind::kProject:
+      return "Project";
+  }
+  return "Unknown";
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+double SelfMillis(const ExecProfile& profile, size_t index) {
+  const OpActual& op = profile.ops[index];
+  double self = op.ms;
+  for (size_t j = index + 1; j < profile.ops.size(); ++j) {
+    if (profile.ops[j].depth <= op.depth) break;
+    if (profile.ops[j].depth == op.depth + 1) self -= profile.ops[j].ms;
+  }
+  return self < 0 ? 0 : self;
+}
+
+std::string ExplainAnalyzeTable(const ExecProfile& profile) {
+  TablePrinter table({"operator", "est_rows", "rows", "q-err", "batches",
+                      "seeks", "self_ms", "total_ms"});
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    const OpActual& op = profile.ops[i];
+    std::string label(2 * static_cast<size_t>(op.depth), ' ');
+    label += op.label;
+    table.AddRow({label, FormatDouble(op.est_rows, 0),
+                  std::to_string(op.actual_rows), FormatDouble(op.QError(), 2),
+                  std::to_string(op.batches), FormatDouble(op.seeks, 0),
+                  FormatDouble(SelfMillis(profile, i), 3),
+                  FormatDouble(op.ms, 3)});
+  }
+  return table.ToString();
+}
+
+std::string ExplainAnalyzeJson(const ExecProfile& profile) {
+  std::string out = "[";
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    const OpActual& op = profile.ops[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"op\": ";
+    AppendJsonString(&out, KindName(op.kind));
+    out += ", \"label\": ";
+    AppendJsonString(&out, op.label);
+    out += ", \"depth\": " + std::to_string(op.depth) +
+           ", \"est_rows\": " + JsonNumber(op.est_rows) +
+           ", \"est_cost\": " + JsonNumber(op.est_cost) +
+           ", \"rows\": " + std::to_string(op.actual_rows) +
+           ", \"q_error\": " + JsonNumber(op.QError()) +
+           ", \"batches\": " + std::to_string(op.batches) +
+           ", \"seeks\": " + JsonNumber(op.seeks) +
+           ", \"ms\": " + JsonNumber(op.ms) +
+           ", \"self_ms\": " + JsonNumber(SelfMillis(profile, i)) + "}";
+  }
+  out += profile.ops.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace legodb::engine

@@ -1,0 +1,39 @@
+#ifndef LEGODB_ENGINE_EXPLAIN_ANALYZE_H_
+#define LEGODB_ENGINE_EXPLAIN_ANALYZE_H_
+
+// EXPLAIN ANALYZE rendering: the per-operator profile a profiled execution
+// collected (engine::ExecProfile, one pre-order entry per physical
+// operator), shown as the estimated-vs-actual tree the paper's cost-model
+// argument rests on. Two views of the same data:
+//
+//  - ExplainAnalyzeTable: an aligned, indented operator tree for humans —
+//    est_rows vs actual rows, q-error, batches pulled, index/scan seeks,
+//    self and cumulative wall time per operator;
+//  - ExplainAnalyzeJson: the same rows as a JSON array, suitable as a
+//    structured block inside an obs::Report (Report::AddBlob) so metrics
+//    files carry per-query plan diagnostics next to the aggregates.
+//
+// A profile may span several executed blocks (UNION ALL branches); each
+// depth-0 entry starts a new operator tree.
+
+#include <string>
+
+#include "engine/executor.h"
+
+namespace legodb::engine {
+
+// Self (exclusive) milliseconds of the operator at `index`: its inclusive
+// time minus its direct children's inclusive time, floored at zero.
+double SelfMillis(const ExecProfile& profile, size_t index);
+
+// Aligned indented tree; empty profile renders the header only.
+std::string ExplainAnalyzeTable(const ExecProfile& profile);
+
+// JSON array of operator objects ({"op", "label", "depth", "est_rows",
+// "est_cost", "rows", "q_error", "batches", "seeks", "ms", "self_ms"}),
+// valid JSON for any profile.
+std::string ExplainAnalyzeJson(const ExecProfile& profile);
+
+}  // namespace legodb::engine
+
+#endif  // LEGODB_ENGINE_EXPLAIN_ANALYZE_H_

@@ -6,7 +6,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "common/table_printer.h"
 
@@ -20,21 +22,73 @@ int64_t NowNanos() {
 
 // ---- Histogram -----------------------------------------------------------
 
+namespace {
+
+// Inclusive upper bounds of the underflow bucket and every regular bucket,
+// computed once so HistogramBucketIndex and the bound accessors can never
+// disagree. bounds[i] is the upper bound of bucket i, for i in
+// [0, kHistogramNumBuckets - 1); the overflow bucket is unbounded.
+const std::array<double, kHistogramNumBuckets - 1>& BucketBounds() {
+  static const auto* bounds = [] {
+    auto* b = new std::array<double, kHistogramNumBuckets - 1>;
+    for (int i = 0; i < kHistogramNumBuckets - 1; ++i) {
+      (*b)[i] = std::pow(
+          10.0, kHistogramMinExp +
+                    static_cast<double>(i) / kHistogramBucketsPerDecade);
+    }
+    return b;
+  }();
+  return *bounds;
+}
+
+}  // namespace
+
+int HistogramBucketIndex(double value) {
+  if (std::isnan(value)) return 0;
+  const auto& bounds = BucketBounds();
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<int>(it - bounds.begin());
+}
+
+double HistogramBucketUpperBound(int bucket) {
+  const auto& bounds = BucketBounds();
+  if (bucket < 0) bucket = 0;
+  if (bucket >= static_cast<int>(bounds.size())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return bounds[static_cast<size_t>(bucket)];
+}
+
+double HistogramBucketLowerBound(int bucket) {
+  return bucket <= 0 ? 0.0 : HistogramBucketUpperBound(bucket - 1);
+}
+
 void Histogram::Observe(double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (s_.count == 0) {
-    s_.min = s_.max = value;
+  if (count_ == 0) {
+    min_ = max_ = value;
   } else {
-    s_.min = std::min(s_.min, value);
-    s_.max = std::max(s_.max, value);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
   }
-  ++s_.count;
-  s_.sum += value;
+  ++count_;
+  sum_ += value;
+  ++buckets_[static_cast<size_t>(HistogramBucketIndex(value))];
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return s_;
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  for (int i = 0; i < kHistogramNumBuckets; ++i) {
+    if (buckets_[static_cast<size_t>(i)] != 0) {
+      s.buckets.emplace_back(i, buckets_[static_cast<size_t>(i)]);
+    }
+  }
+  return s;
 }
 
 // ---- Registry ------------------------------------------------------------
@@ -75,11 +129,14 @@ int Registry::BeginSpan(const char* name, int parent, int depth,
     ++dropped_spans_;
     return -1;
   }
+  auto [it, unused] = thread_ids_.emplace(
+      std::this_thread::get_id(), static_cast<int>(thread_ids_.size()));
   SpanRecord record;
   record.name = name;
   record.start_ns = start_ns - epoch_ns_;
   record.parent = parent;
   record.depth = depth;
+  record.tid = it->second;
   spans_.push_back(std::move(record));
   return static_cast<int>(spans_.size()) - 1;
 }
@@ -108,7 +165,11 @@ Report Registry::Snapshot() const {
   }
   for (const auto& [name, hist] : histograms_) {
     Histogram::Snapshot s = hist->snapshot();
-    report.histograms.push_back({name, s.count, s.sum, s.min, s.max});
+    Report::HistogramEntry entry{name, s.count, s.sum, s.min, s.max, {}};
+    for (const auto& [bucket, count] : s.buckets) {
+      entry.buckets.push_back({bucket, count});
+    }
+    report.histograms.push_back(std::move(entry));
   }
   report.dropped_spans = dropped_spans_;
   return report;
@@ -191,6 +252,83 @@ double Report::SpanTotalMillis(std::string_view name) const {
   return total_ns / 1e6;
 }
 
+double Report::HistogramEntry::Quantile(double q) const {
+  if (count <= 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // The extreme order statistics are tracked exactly; only interior
+  // quantiles need the bucket estimate.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  double result;
+  if (buckets.empty()) {
+    // Pre-bucket report (older JSON): all that is known is the range.
+    result = min + q * (max - min);
+  } else {
+    // The observation with 1-based rank ceil(q * count), by bucket walk.
+    int64_t rank = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    rank = std::max<int64_t>(1, std::min(rank, count));
+    int64_t seen = 0;
+    int bucket = buckets.back().bucket;
+    for (const BucketCount& b : buckets) {
+      seen += b.count;
+      if (seen >= rank) {
+        bucket = b.bucket;
+        break;
+      }
+    }
+    double lo = HistogramBucketLowerBound(bucket);
+    double hi = HistogramBucketUpperBound(bucket);
+    // Geometric bucket midpoint; the unbounded edges fall back to the
+    // finite side and the final clamp to the observed range.
+    if (!std::isfinite(hi)) {
+      result = lo;
+    } else if (lo <= 0) {
+      result = hi;
+    } else {
+      result = std::sqrt(lo * hi);
+    }
+  }
+  return std::min(max, std::max(min, result));
+}
+
+void Report::SetMeta(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : meta) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  meta.emplace_back(std::string(key), std::string(value));
+}
+
+std::string Report::MetaValue(std::string_view key) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+void Report::AddBlob(std::string_view name, std::string raw_json) {
+  if (!ValidateJsonText(raw_json).ok()) {
+    raw_json = "\"(invalid blob JSON dropped)\"";
+  }
+  for (auto& [n, v] : blobs) {
+    if (n == name) {
+      v = std::move(raw_json);
+      return;
+    }
+  }
+  blobs.emplace_back(std::string(name), std::move(raw_json));
+}
+
+const std::string* Report::FindBlob(std::string_view name) const {
+  for (const auto& [n, v] : blobs) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
 // ---- Report: human tables ------------------------------------------------
 
 std::string Report::SpanTable() const {
@@ -198,8 +336,14 @@ std::string Report::SpanTable() const {
   for (const auto& s : spans) {
     std::string name(2 * static_cast<size_t>(s.depth), ' ');
     name += s.name;
+    // A negative duration marks a span still open when the report was made
+    // (hand-written or round-tripped reports; Registry::Snapshot closes its
+    // own open spans).
     table.AddRow({name, FormatDouble(static_cast<double>(s.start_ns) / 1e6, 3),
-                  FormatDouble(static_cast<double>(s.duration_ns) / 1e6, 3)});
+                  s.duration_ns < 0
+                      ? "open"
+                      : FormatDouble(
+                            static_cast<double>(s.duration_ns) / 1e6, 3)});
   }
   if (dropped_spans > 0) {
     table.AddRow({"(dropped " + std::to_string(dropped_spans) + " spans)",
@@ -259,7 +403,11 @@ void AppendJsonString(std::string* out, std::string_view s) {
 }
 
 std::string JsonDouble(double v) {
-  if (!std::isfinite(v)) return "0";
+  // JSON has no literals for non-finite doubles; encode them as strings
+  // the parser maps back (a NaN calibration gauge must not corrupt the
+  // file).
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
   // Round-trippable without drowning the file in digits.
   std::ostringstream os;
   os.precision(17);
@@ -279,7 +427,8 @@ std::string Report::ToJson() const {
     out += ", \"start_ns\": " + std::to_string(s.start_ns) +
            ", \"duration_ns\": " + std::to_string(s.duration_ns) +
            ", \"parent\": " + std::to_string(s.parent) +
-           ", \"depth\": " + std::to_string(s.depth) + "}";
+           ", \"depth\": " + std::to_string(s.depth) +
+           ", \"tid\": " + std::to_string(s.tid) + "}";
   }
   out += spans.empty() ? "],\n" : "\n  ],\n";
   out += "  \"counters\": {";
@@ -304,10 +453,76 @@ std::string Report::ToJson() const {
     out += ": {\"count\": " + std::to_string(h.count) +
            ", \"sum\": " + JsonDouble(h.sum) +
            ", \"min\": " + JsonDouble(h.min) +
-           ", \"max\": " + JsonDouble(h.max) + "}";
+           ", \"max\": " + JsonDouble(h.max);
+    if (!h.buckets.empty()) {
+      out += ", \"buckets\": {";
+      for (size_t b = 0; b < h.buckets.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += "\"" + std::to_string(h.buckets[b].bucket) +
+               "\": " + std::to_string(h.buckets[b].count);
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += histograms.empty() ? "},\n" : "\n  },\n";
+  if (!meta.empty()) {
+    out += "  \"meta\": {";
+    for (size_t i = 0; i < meta.size(); ++i) {
+      out += i == 0 ? "\n    " : ",\n    ";
+      AppendJsonString(&out, meta[i].first);
+      out += ": ";
+      AppendJsonString(&out, meta[i].second);
+    }
+    out += "\n  },\n";
+  }
+  if (!blobs.empty()) {
+    out += "  \"blobs\": {";
+    for (size_t i = 0; i < blobs.size(); ++i) {
+      out += i == 0 ? "\n    " : ",\n    ";
+      AppendJsonString(&out, blobs[i].first);
+      out += ": " + blobs[i].second;
+    }
+    out += "\n  },\n";
+  }
   out += "  \"dropped_spans\": " + std::to_string(dropped_spans) + "\n}\n";
+  return out;
+}
+
+// ---- Report: Chrome trace ------------------------------------------------
+
+std::string Report::ToChromeTrace() const {
+  // End of the traced run: the latest finished-span end time. Still-open
+  // spans (negative duration) are closed here so every slice has a
+  // non-negative "dur".
+  int64_t end_ns = 0;
+  for (const SpanRecord& s : spans) {
+    end_ns = std::max(end_ns,
+                      s.start_ns + std::max<int64_t>(s.duration_ns, 0));
+  }
+  std::string out = "{\"traceEvents\": [\n";
+  out += "  {\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+         "\"process_name\", \"args\": {\"name\": \"legodb\"}}";
+  int max_tid = -1;
+  for (const SpanRecord& s : spans) max_tid = std::max(max_tid, s.tid);
+  for (int t = 0; t <= max_tid; ++t) {
+    out += ",\n  {\"ph\": \"M\", \"pid\": 0, \"tid\": " + std::to_string(t) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"thread " +
+           std::to_string(t) + "\"}}";
+  }
+  for (const SpanRecord& s : spans) {
+    int64_t dur_ns =
+        s.duration_ns >= 0 ? s.duration_ns
+                           : std::max<int64_t>(0, end_ns - s.start_ns);
+    out += ",\n  {\"ph\": \"X\", \"pid\": 0, \"tid\": " +
+           std::to_string(s.tid) + ", \"name\": ";
+    AppendJsonString(&out, s.name);
+    out += ", \"cat\": \"span\", \"ts\": " +
+           JsonDouble(static_cast<double>(s.start_ns) / 1e3) +
+           ", \"dur\": " + JsonDouble(static_cast<double>(dur_ns) / 1e3) +
+           ", \"args\": {\"depth\": " + std::to_string(s.depth) + "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
   return out;
 }
 
@@ -345,6 +560,10 @@ class JsonParser {
         LEGODB_RETURN_IF_ERROR(ParseGauges(&report));
       } else if (key == "histograms") {
         LEGODB_RETURN_IF_ERROR(ParseHistograms(&report));
+      } else if (key == "meta") {
+        LEGODB_RETURN_IF_ERROR(ParseStringMap(&report.meta));
+      } else if (key == "blobs") {
+        LEGODB_RETURN_IF_ERROR(ParseBlobs(&report));
       } else if (key == "dropped_spans") {
         LEGODB_ASSIGN_OR_RETURN(double v, ParseNumber());
         report.dropped_spans = static_cast<int64_t>(v);
@@ -427,6 +646,83 @@ class JsonParser {
     return static_cast<int64_t>(v);
   }
 
+  // A double-valued field: a plain number, the string encodings of the
+  // non-finite values ("NaN", "Infinity", "-Infinity"), or null (read as
+  // NaN) — the decode side of JsonDouble.
+  StatusOr<double> ParseDouble() {
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      LEGODB_ASSIGN_OR_RETURN(std::string s, ParseString());
+      if (s == "NaN") return std::numeric_limits<double>::quiet_NaN();
+      if (s == "Infinity") return std::numeric_limits<double>::infinity();
+      if (s == "-Infinity") return -std::numeric_limits<double>::infinity();
+      return Err("unknown double string '" + s + "'");
+    }
+    if (ConsumeLiteral("null")) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return ParseNumber();
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Skips one well-formed JSON value of any shape (used for blob capture
+  // and standalone validation).
+  Status SkipValue(int depth) {
+    if (depth > 256) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("expected value");
+    char c = text_[pos_];
+    if (c == '{' || c == '[') {
+      char close = c == '{' ? '}' : ']';
+      ++pos_;
+      bool first = true;
+      while (true) {
+        SkipWs();
+        if (Consume(close)) return Status::OK();
+        if (!first && !Consume(',')) return Err("expected ','");
+        first = false;
+        SkipWs();
+        if (close == '}') {
+          LEGODB_RETURN_IF_ERROR(ParseString().status());
+          SkipWs();
+          if (!Consume(':')) return Err("expected ':'");
+        }
+        LEGODB_RETURN_IF_ERROR(SkipValue(depth + 1));
+      }
+    }
+    if (c == '"') return ParseString().status();
+    if (ConsumeLiteral("true") || ConsumeLiteral("false") ||
+        ConsumeLiteral("null")) {
+      return Status::OK();
+    }
+    return ParseNumber().status();
+  }
+
+  // Captures the raw text of one well-formed JSON value, verbatim.
+  StatusOr<std::string> ParseRawValue() {
+    SkipWs();
+    size_t start = pos_;
+    LEGODB_RETURN_IF_ERROR(SkipValue(0));
+    return text_.substr(start, pos_ - start);
+  }
+
+  // Validates one complete JSON document (any value at the root).
+ public:
+  Status ValidateWhole() {
+    LEGODB_RETURN_IF_ERROR(SkipValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing characters");
+    return Status::OK();
+  }
+
+ private:
+
   Status ParseSpans(Report* report) {
     if (!Consume('[')) return Err("expected '['");
     bool first = true;
@@ -461,6 +757,9 @@ class JsonParser {
         } else if (key == "depth") {
           LEGODB_ASSIGN_OR_RETURN(int64_t v, ParseInt());
           span.depth = static_cast<int>(v);
+        } else if (key == "tid") {
+          LEGODB_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+          span.tid = static_cast<int>(v);
         } else {
           return Err("unknown span key '" + key + "'");
         }
@@ -502,7 +801,7 @@ class JsonParser {
       SkipWs();
       if (!Consume(':')) return Err("expected ':'");
       SkipWs();
-      LEGODB_ASSIGN_OR_RETURN(entry.value, ParseNumber());
+      LEGODB_ASSIGN_OR_RETURN(entry.value, ParseDouble());
       report->gauges.push_back(std::move(entry));
     }
   }
@@ -536,16 +835,73 @@ class JsonParser {
         if (key == "count") {
           LEGODB_ASSIGN_OR_RETURN(entry.count, ParseInt());
         } else if (key == "sum") {
-          LEGODB_ASSIGN_OR_RETURN(entry.sum, ParseNumber());
+          LEGODB_ASSIGN_OR_RETURN(entry.sum, ParseDouble());
         } else if (key == "min") {
-          LEGODB_ASSIGN_OR_RETURN(entry.min, ParseNumber());
+          LEGODB_ASSIGN_OR_RETURN(entry.min, ParseDouble());
         } else if (key == "max") {
-          LEGODB_ASSIGN_OR_RETURN(entry.max, ParseNumber());
+          LEGODB_ASSIGN_OR_RETURN(entry.max, ParseDouble());
+        } else if (key == "buckets") {
+          LEGODB_RETURN_IF_ERROR(ParseBuckets(&entry));
         } else {
           return Err("unknown histogram key '" + key + "'");
         }
       }
       report->histograms.push_back(std::move(entry));
+    }
+  }
+
+  Status ParseBuckets(Report::HistogramEntry* entry) {
+    if (!Consume('{')) return Err("expected buckets object");
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!first && !Consume(',')) return Err("expected ','");
+      first = false;
+      SkipWs();
+      LEGODB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      Report::BucketCount b;
+      b.bucket = std::atoi(key.c_str());
+      LEGODB_ASSIGN_OR_RETURN(b.count, ParseInt());
+      entry->buckets.push_back(b);
+    }
+  }
+
+  Status ParseStringMap(std::vector<std::pair<std::string, std::string>>* out) {
+    if (!Consume('{')) return Err("expected '{'");
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!first && !Consume(',')) return Err("expected ','");
+      first = false;
+      SkipWs();
+      LEGODB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      LEGODB_ASSIGN_OR_RETURN(std::string value, ParseString());
+      out->emplace_back(std::move(key), std::move(value));
+    }
+  }
+
+  Status ParseBlobs(Report* report) {
+    if (!Consume('{')) return Err("expected '{'");
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!first && !Consume(',')) return Err("expected ','");
+      first = false;
+      SkipWs();
+      LEGODB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      LEGODB_ASSIGN_OR_RETURN(std::string raw, ParseRawValue());
+      report->blobs.emplace_back(std::move(key), std::move(raw));
     }
   }
 
@@ -557,6 +913,10 @@ class JsonParser {
 
 StatusOr<Report> ReportFromJson(const std::string& json) {
   return JsonParser(json).ParseReport();
+}
+
+Status ValidateJsonText(const std::string& text) {
+  return JsonParser(text).ValidateWhole();
 }
 
 }  // namespace legodb::obs

@@ -34,6 +34,7 @@
 // nesting is tracked per thread (spans opened on different threads attach
 // to that thread's innermost open span, or become roots).
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -41,6 +42,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -49,6 +51,34 @@ namespace legodb::obs {
 
 // Monotonic clock, nanoseconds.
 int64_t NowNanos();
+
+// --- Histogram bucket layout ----------------------------------------------
+//
+// Every histogram shares one fixed log-spaced bucket layout, so bucket
+// boundaries are stable across runs and histograms from different runs can
+// be merged/compared bucket by bucket:
+//
+//   bucket 0                          values <= 10^kHistogramMinExp (and
+//                                     everything non-positive / NaN)
+//   bucket i in [1, kSpan]            (bound(i-1), bound(i)] with
+//                                     bound(i) = 10^(kMinExp + i/kPerDecade)
+//   bucket kSpan+1 (= kNumBuckets-1)  values > 10^kHistogramMaxExp
+//
+// Eight buckets per decade gives a worst-case relative quantile error of
+// 10^(1/8) ~ 1.33x over the 10^-9 .. 10^9 range (sub-nanosecond to ~11 days
+// when the unit is milliseconds).
+inline constexpr int kHistogramBucketsPerDecade = 8;
+inline constexpr int kHistogramMinExp = -9;
+inline constexpr int kHistogramMaxExp = 9;
+inline constexpr int kHistogramNumBuckets =
+    (kHistogramMaxExp - kHistogramMinExp) * kHistogramBucketsPerDecade + 2;
+
+// Bucket index for a value, in [0, kHistogramNumBuckets).
+int HistogramBucketIndex(double value);
+// Inclusive upper bound of a bucket (+infinity for the overflow bucket).
+double HistogramBucketUpperBound(int bucket);
+// Exclusive lower bound of a bucket (0 for the underflow bucket).
+double HistogramBucketLowerBound(int bucket);
 
 class Counter {
  public:
@@ -68,6 +98,9 @@ class Histogram {
     double sum = 0;
     double min = 0;
     double max = 0;
+    // Sparse nonzero bucket counts, sorted by bucket index (see the fixed
+    // layout above).
+    std::vector<std::pair<int, int64_t>> buckets;
     double Mean() const { return count == 0 ? 0 : sum / count; }
   };
 
@@ -76,7 +109,11 @@ class Histogram {
 
  private:
   mutable std::mutex mu_;
-  Snapshot s_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::array<int64_t, kHistogramNumBuckets> buckets_{};
 };
 
 // Last-value-wins metric for computed results (calibration correlations,
@@ -105,6 +142,7 @@ struct SpanRecord {
   int64_t duration_ns = -1;  // -1 while the span is open
   int parent = -1;           // index into the span list; -1 for roots
   int depth = 0;
+  int tid = 0;               // registry-local id of the owning thread
 };
 
 // Immutable snapshot of a registry: the trace plus all metrics. Exportable
@@ -114,12 +152,25 @@ struct Report {
     std::string name;
     int64_t value = 0;
   };
+  struct BucketCount {
+    int bucket = 0;
+    int64_t count = 0;
+  };
   struct HistogramEntry {
     std::string name;
     int64_t count = 0;
     double sum = 0;
     double min = 0;
     double max = 0;
+    // Sparse nonzero bucket counts, sorted by bucket index.
+    std::vector<BucketCount> buckets;
+
+    // Quantile estimate from the log-spaced buckets, clamped to [min, max]
+    // (so a single observation is exact and q=0/1 return min/max). `q` is
+    // clamped to [0, 1]; returns 0 on an empty histogram. Reports parsed
+    // from pre-bucket JSON (no bucket data) fall back to linear
+    // interpolation between min and max.
+    double Quantile(double q) const;
   };
   struct GaugeEntry {
     std::string name;
@@ -130,9 +181,18 @@ struct Report {
   std::vector<CounterEntry> counters;      // sorted by name
   std::vector<GaugeEntry> gauges;          // sorted by name
   std::vector<HistogramEntry> histograms;  // sorted by name
+  // Free-form string annotations (workload, git revision, build type, ...)
+  // and named raw-JSON sub-documents (EXPLAIN ANALYZE blocks, merged bench
+  // reports), both in insertion order.
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<std::pair<std::string, std::string>> blobs;
   int64_t dropped_spans = 0;               // spans beyond the registry cap
 
   std::string ToJson() const;
+  // Chrome-trace ("traceEvents") JSON loadable by chrome://tracing and
+  // Perfetto: one complete slice per span on its owning thread's track,
+  // still-open spans closed at the report's end time.
+  std::string ToChromeTrace() const;
   // Indented span tree with start/duration columns.
   std::string SpanTable() const;
   // Counters then histograms (count/mean/min/max/sum).
@@ -144,7 +204,24 @@ struct Report {
   const HistogramEntry* FindHistogram(std::string_view name) const;
   // Total duration (ms) of all spans with this name.
   double SpanTotalMillis(std::string_view name) const;
+
+  // Meta annotations: last SetMeta for a key wins; MetaValue returns ""
+  // when absent.
+  void SetMeta(std::string_view key, std::string_view value);
+  std::string MetaValue(std::string_view key) const;
+
+  // Attaches a named raw-JSON document, emitted verbatim under "blobs".
+  // `raw_json` must be a valid JSON value (see ValidateJsonText); an
+  // invalid blob would corrupt ToJson output, so it is stored as a quoted
+  // error string instead. Last AddBlob for a name wins.
+  void AddBlob(std::string_view name, std::string raw_json);
+  const std::string* FindBlob(std::string_view name) const;
 };
+
+// Validates that `text` is exactly one well-formed JSON value (with
+// optional surrounding whitespace). Used to gate Report blobs and to check
+// exporter output in tests and tooling.
+Status ValidateJsonText(const std::string& text);
 
 // Parses a report previously produced by Report::ToJson.
 StatusOr<Report> ReportFromJson(const std::string& json);
@@ -175,6 +252,9 @@ class Registry {
   mutable std::mutex mu_;
   size_t max_spans_ = 65536;
   int64_t dropped_spans_ = 0;
+  // Registry-local ids for span-owning threads, in first-span order (the
+  // Chrome-trace exporter groups slices by these).
+  std::map<std::thread::id, int> thread_ids_;
   std::vector<SpanRecord> spans_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;

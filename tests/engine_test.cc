@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "engine/executor.h"
+#include "engine/explain_analyze.h"
 #include "engine/reference_executor.h"
+#include "obs/obs.h"
 #include "mapping/mapping.h"
 #include "optimizer/optimizer.h"
 #include "pschema/pschema.h"
@@ -372,6 +374,50 @@ TEST_F(EngineTest, OuterJoinStillEmitsMatchesThatPassResiduals) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows.size(), 3u);
   for (const auto& row : r->rows) EXPECT_FALSE(row[0].is_null());
+}
+
+TEST_F(EngineTest, ExplainAnalyzeRendersProfiledExecution) {
+  opt::QueryBlock block = JoinBlock(false);
+  opt::Optimizer optimizer(mapping_->catalog());
+  auto planned = optimizer.PlanBlock(block);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  ExecOptions options;
+  options.collect_profile = true;
+  Executor exec(db_.get(), {}, options);
+  auto r = exec.ExecuteBlock(block, planned->plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const ExecProfile& profile = exec.profile();
+  ASSERT_GE(profile.ops.size(), 2u);  // project + at least one input
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    const OpActual& op = profile.ops[i];
+    // Every operator answered at least its EOS batch, and exclusive time
+    // never exceeds inclusive time.
+    EXPECT_GE(op.batches, 1) << op.label;
+    EXPECT_LE(SelfMillis(profile, i), op.ms + 1e-9) << op.label;
+    EXPECT_GE(SelfMillis(profile, i), 0.0) << op.label;
+  }
+  // The root is the projection; its inclusive seeks cover the whole tree,
+  // so no descendant can exceed it.
+  EXPECT_EQ(profile.ops[0].depth, 0);
+  for (const OpActual& op : profile.ops) {
+    EXPECT_LE(op.seeks, profile.ops[0].seeks) << op.label;
+  }
+
+  std::string table = ExplainAnalyzeTable(profile);
+  EXPECT_NE(table.find("operator"), std::string::npos);
+  EXPECT_NE(table.find("q-err"), std::string::npos);
+  EXPECT_NE(table.find("Project"), std::string::npos);
+
+  std::string json = ExplainAnalyzeJson(profile);
+  EXPECT_TRUE(obs::ValidateJsonText(json).ok()) << json;
+}
+
+TEST_F(EngineTest, ExplainAnalyzeOnEmptyProfileIsValid) {
+  ExecProfile empty;
+  EXPECT_NE(ExplainAnalyzeTable(empty).find("operator"), std::string::npos);
+  EXPECT_EQ(ExplainAnalyzeJson(empty), "[]");
+  EXPECT_TRUE(obs::ValidateJsonText(ExplainAnalyzeJson(empty)).ok());
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
@@ -256,6 +258,277 @@ TEST(ReportTest, SnapshotClosesOpenSpans) {
   Report report = registry.Snapshot();
   ASSERT_EQ(report.spans.size(), 1u);
   EXPECT_GT(report.spans[0].duration_ns, 0);
+}
+
+// --- Quantile buckets ------------------------------------------------------
+
+TEST(HistogramBucketTest, IndexAndBoundsAgree) {
+  // Buckets are half-open on the left: bucket b covers (lower(b),
+  // upper(b)]. Interior values must land in a regular bucket whose bounds
+  // bracket them.
+  for (double v : {2.5e-7, 0.0015, 0.999, 1.5, 42.0, 1.1e4, 9.9e8}) {
+    int b = HistogramBucketIndex(v);
+    EXPECT_GT(b, 0) << v;
+    EXPECT_LT(b, kHistogramNumBuckets - 1) << v;
+    EXPECT_LT(HistogramBucketLowerBound(b), v) << v;
+    EXPECT_GE(HistogramBucketUpperBound(b), v) << v;
+  }
+  // A value exactly on a boundary belongs to the bucket it closes.
+  for (int b : {1, 8, 72, kHistogramNumBuckets - 2}) {
+    EXPECT_EQ(HistogramBucketIndex(HistogramBucketUpperBound(b)), b);
+  }
+  // Underflow bucket: zero, negatives, NaN, and anything at or below the
+  // smallest bound.
+  EXPECT_EQ(HistogramBucketIndex(0.0), 0);
+  EXPECT_EQ(HistogramBucketIndex(-5.0), 0);
+  EXPECT_EQ(HistogramBucketIndex(1e-12), 0);
+  EXPECT_EQ(HistogramBucketIndex(std::nan("")), 0);
+  // Overflow bucket: anything above the largest bound.
+  EXPECT_EQ(HistogramBucketIndex(2e9), kHistogramNumBuckets - 1);
+  EXPECT_EQ(HistogramBucketIndex(1e300), kHistogramNumBuckets - 1);
+  EXPECT_EQ(HistogramBucketIndex(std::numeric_limits<double>::infinity()),
+            kHistogramNumBuckets - 1);
+  EXPECT_TRUE(std::isinf(
+      HistogramBucketUpperBound(kHistogramNumBuckets - 1)));
+  // Buckets tile the range: adjacent bounds coincide and grow strictly.
+  for (int b = 1; b < kHistogramNumBuckets - 1; ++b) {
+    EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(b),
+                     HistogramBucketLowerBound(b + 1));
+    EXPECT_LT(HistogramBucketLowerBound(b), HistogramBucketUpperBound(b));
+  }
+}
+
+TEST(HistogramBucketTest, QuantilesWithinOneBucket) {
+  Registry registry;
+  ScopedRegistry scoped(&registry);
+  // 1..1000 uniformly: exact p-quantile (rank ceil(p*n)) is just the rank.
+  for (int i = 1; i <= 1000; ++i) Observe("latency", static_cast<double>(i));
+  Report report = registry.Snapshot();
+  const Report::HistogramEntry* h = report.FindHistogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1000);
+  // One log bucket spans a 10^(1/8) ~ 1.334x ratio, so the estimate must be
+  // within that factor of the exact order statistic.
+  for (auto [q, exact] : {std::pair<double, double>{0.5, 500.0},
+                          {0.95, 950.0},
+                          {0.99, 990.0}}) {
+    double est = h->Quantile(q);
+    double ratio = est > exact ? est / exact : exact / est;
+    EXPECT_LE(ratio, 1.34) << "q=" << q << " est=" << est;
+  }
+  // Extremes are exact: clamped to the observed min/max.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 1000.0);
+  // Monotone in q.
+  double prev = 0;
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double v = h->Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramBucketTest, SingleObservationIsExactAndEmptyIsZero) {
+  Registry registry;
+  ScopedRegistry scoped(&registry);
+  Observe("one", 7.3);
+  Report report = registry.Snapshot();
+  const Report::HistogramEntry* h = report.FindHistogram("one");
+  ASSERT_NE(h, nullptr);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h->Quantile(q), 7.3) << q;
+  }
+  Report::HistogramEntry empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramBucketTest, LegacyEntryWithoutBucketsInterpolates) {
+  // Reports parsed from pre-bucket JSON have no bucket data; Quantile falls
+  // back to linear interpolation between min and max.
+  Report::HistogramEntry h;
+  h.count = 10;
+  h.min = 0.0;
+  h.max = 100.0;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(ReportTest, JsonRoundTripPreservesBuckets) {
+  Registry registry;
+  {
+    ScopedRegistry scoped(&registry);
+    for (int i = 1; i <= 100; ++i) Observe("ms", 0.1 * i);
+  }
+  Report report = registry.Snapshot();
+  std::string json = report.ToJson();
+  auto parsed = ReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Report::HistogramEntry* a = report.FindHistogram("ms");
+  const Report::HistogramEntry* b = parsed->FindHistogram("ms");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->buckets.size(), b->buckets.size());
+  for (size_t i = 0; i < a->buckets.size(); ++i) {
+    EXPECT_EQ(a->buckets[i].bucket, b->buckets[i].bucket);
+    EXPECT_EQ(a->buckets[i].count, b->buckets[i].count);
+  }
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a->Quantile(q), b->Quantile(q));
+  }
+  // Fixpoint: re-encoding the parse reproduces the bytes.
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+// --- Non-finite values in JSON (satellite: NaN Spearman gauge) -------------
+
+TEST(ReportTest, NonFiniteGaugesRoundTrip) {
+  Registry registry;
+  {
+    ScopedRegistry scoped(&registry);
+    SetGauge("spearman", std::nan(""));
+    SetGauge("pos", std::numeric_limits<double>::infinity());
+    SetGauge("neg", -std::numeric_limits<double>::infinity());
+  }
+  Report report = registry.Snapshot();
+  std::string json = report.ToJson();
+  ASSERT_TRUE(ValidateJsonText(json).ok()) << json;
+  auto parsed = ReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(std::isnan(parsed->GaugeValue("spearman")));
+  EXPECT_EQ(parsed->GaugeValue("pos"),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parsed->GaugeValue("neg"),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST(ReportTest, NullGaugeParsesAsNaN) {
+  auto parsed = ReportFromJson(
+      "{\"spans\": [], \"counters\": {}, \"gauges\": {\"rho\": null}, "
+      "\"histograms\": {}, \"dropped_spans\": 0}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(std::isnan(parsed->GaugeValue("rho")));
+}
+
+// --- Open spans (satellite) ------------------------------------------------
+
+TEST(ReportTest, SpanTableRendersOpenSpans) {
+  Report report;
+  report.spans.push_back({"finished", 0, 5'000'000, -1, 0, 0});
+  report.spans.push_back({"still.going", 1'000'000, -1, 0, 1, 0});
+  std::string table = report.SpanTable();
+  EXPECT_NE(table.find("open"), std::string::npos) << table;
+  EXPECT_EQ(table.find("-0.0"), std::string::npos) << table;
+}
+
+// --- Chrome trace ----------------------------------------------------------
+
+TEST(ChromeTraceTest, GoldenOutput) {
+  Report report;
+  report.spans.push_back({"outer \"q\"", 1'000, 10'000, -1, 0, 0});
+  report.spans.push_back({"inner", 2'000, 3'000, 0, 1, 0});
+  report.spans.push_back({"worker", 4'000, -1, -1, 0, 1});  // open, thread 1
+  std::string trace = report.ToChromeTrace();
+  EXPECT_EQ(trace,
+            "{\"traceEvents\": [\n"
+            "  {\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+            "\"process_name\", \"args\": {\"name\": \"legodb\"}},\n"
+            "  {\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+            "\"thread_name\", \"args\": {\"name\": \"thread 0\"}},\n"
+            "  {\"ph\": \"M\", \"pid\": 0, \"tid\": 1, \"name\": "
+            "\"thread_name\", \"args\": {\"name\": \"thread 1\"}},\n"
+            "  {\"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"name\": "
+            "\"outer \\\"q\\\"\", \"cat\": \"span\", \"ts\": 1, \"dur\": 10, "
+            "\"args\": {\"depth\": 0}},\n"
+            "  {\"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"name\": \"inner\", "
+            "\"cat\": \"span\", \"ts\": 2, \"dur\": 3, "
+            "\"args\": {\"depth\": 1}},\n"
+            "  {\"ph\": \"X\", \"pid\": 0, \"tid\": 1, \"name\": \"worker\", "
+            "\"cat\": \"span\", \"ts\": 4, \"dur\": 7, "
+            "\"args\": {\"depth\": 0}}\n"
+            "], \"displayTimeUnit\": \"ms\"}\n");
+  EXPECT_TRUE(ValidateJsonText(trace).ok());
+}
+
+TEST(ChromeTraceTest, LiveSnapshotNestsSlices) {
+  Registry registry;
+  {
+    Span outer("outer", &registry);
+    Work();
+    Span inner("inner", &registry);
+    Work();
+  }
+  Report report = registry.Snapshot();
+  std::string trace = report.ToChromeTrace();
+  ASSERT_TRUE(ValidateJsonText(trace).ok()) << trace;
+  // The inner slice must sit inside the outer one on the timeline.
+  ASSERT_EQ(report.spans.size(), 2u);
+  const SpanRecord& outer = report.spans[0];
+  const SpanRecord& inner = report.spans[1];
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+}
+
+TEST(ChromeTraceTest, ThreadsGetDistinctTrackIds) {
+  Registry registry;
+  {
+    ScopedRegistry scoped(&registry);
+    Span main_span("main.work");
+    std::thread worker([&registry] {
+      ScopedRegistry worker_scope(&registry);
+      Span span("worker.work");
+      Work();
+    });
+    worker.join();
+  }
+  Report report = registry.Snapshot();
+  ASSERT_EQ(report.spans.size(), 2u);
+  EXPECT_NE(report.spans[0].tid, report.spans[1].tid);
+}
+
+// --- Meta + blobs ----------------------------------------------------------
+
+TEST(ReportTest, MetaAndBlobsRoundTrip) {
+  Report report;
+  report.SetMeta("workload", "calibration");
+  report.SetMeta("git", "abc123-dirty");
+  report.SetMeta("workload", "fig10");  // last write wins
+  report.AddBlob("explain.Q1", "[{\"op\": \"SeqScan\", \"rows\": 3}]");
+  EXPECT_EQ(report.MetaValue("workload"), "fig10");
+  EXPECT_EQ(report.MetaValue("missing"), "");
+
+  std::string json = report.ToJson();
+  auto parsed = ReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->MetaValue("workload"), "fig10");
+  EXPECT_EQ(parsed->MetaValue("git"), "abc123-dirty");
+  const std::string* blob = parsed->FindBlob("explain.Q1");
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(*blob, "[{\"op\": \"SeqScan\", \"rows\": 3}]");
+  EXPECT_EQ(parsed->FindBlob("missing"), nullptr);
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST(ReportTest, InvalidBlobIsDroppedNotEmitted) {
+  Report report;
+  report.AddBlob("bad", "{not json");
+  std::string json = report.ToJson();
+  EXPECT_TRUE(ValidateJsonText(json).ok()) << json;
+  auto parsed = ReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string* blob = parsed->FindBlob("bad");
+  ASSERT_NE(blob, nullptr);
+  EXPECT_NE(blob->find("invalid blob"), std::string::npos);
+}
+
+TEST(ValidateJsonTextTest, AcceptsValuesRejectsGarbage) {
+  EXPECT_TRUE(ValidateJsonText("{\"a\": [1, 2.5, null, true, \"x\"]}").ok());
+  EXPECT_TRUE(ValidateJsonText("[]").ok());
+  EXPECT_FALSE(ValidateJsonText("{\"a\": }").ok());
+  EXPECT_FALSE(ValidateJsonText("{} trailing").ok());
+  EXPECT_FALSE(ValidateJsonText("").ok());
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+// bench_report — the bench-trajectory pipeline's merge/compare step.
+//
+// Usage:
+//   bench_report merge OUT IN.json...    # merge obs reports into OUT
+//   bench_report compare OLD NEW         # regression table OLD -> NEW
+//
+// `merge` validates every input as an obs::Report (exit 2 on unreadable or
+// invalid JSON) and writes OUT as a single obs::Report whose blobs are the
+// input reports verbatim, keyed by their stamped workload name (falling
+// back to the file name); run provenance (git revision, build type) is
+// lifted into the merged report's meta. OUT is therefore itself a valid
+// obs::Report: `compare` accepts either merged files or single bench
+// reports.
+//
+// `compare` prints one table of histogram p50/p99 shifts (Δ% computed from
+// the log-bucket quantile estimates) and one of gauge shifts, for every
+// metric present in both reports. Blobs are flattened first — a metric
+// `exec.block_ms` inside blob `calibration` compares as
+// `calibration.exec.block_ms` — so trajectories merged from several
+// benches diff in one call. Exit 0 on success (comparison never fails the
+// build by itself; thresholding is the caller's policy).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "obs/obs.h"
+
+using namespace legodb;
+
+namespace {
+
+constexpr int kExitConfigError = 2;
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_report merge OUT IN.json...\n"
+               "       bench_report compare OLD.json NEW.json\n");
+  return kExitConfigError;
+}
+
+// Strips directories and a trailing ".json" so files make usable blob keys.
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+    name.resize(name.size() - 5);
+  }
+  return name;
+}
+
+StatusOr<obs::Report> LoadReport(const std::string& path) {
+  LEGODB_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  auto report = obs::ReportFromJson(text);
+  if (!report.ok()) {
+    return Status::InvalidArgument(path + ": " + report.status().ToString());
+  }
+  return report;
+}
+
+int Merge(const std::string& out_path,
+          const std::vector<std::string>& inputs) {
+  obs::Report merged;
+  merged.SetMeta("tool", "bench_report");
+  merged.SetMeta("inputs", std::to_string(inputs.size()));
+  for (const std::string& path : inputs) {
+    auto report = LoadReport(path);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      return kExitConfigError;
+    }
+    std::string key = report->MetaValue("workload");
+    if (key.empty()) key = BaseName(path);
+    // Provenance should agree across the inputs of one trajectory point;
+    // last writer wins, which is harmless when they do.
+    for (const char* k : {"git", "build"}) {
+      std::string v = report->MetaValue(k);
+      if (!v.empty()) merged.SetMeta(k, v);
+    }
+    // Re-serialize (rather than pasting the input bytes) so the blob is
+    // exactly the parsed report — a second validation for free.
+    merged.AddBlob(key, report->ToJson());
+  }
+  std::string json = merged.ToJson();
+  Status valid = obs::ValidateJsonText(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: merged report is not valid JSON: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return kExitConfigError;
+  }
+  out << json;
+  if (!out.good()) {
+    std::fprintf(stderr, "error: short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("merged %zu report(s) into %s\n", inputs.size(),
+              out_path.c_str());
+  return 0;
+}
+
+// A merged file's metrics live inside its blobs; flatten them (prefixed
+// with the blob key) next to any top-level metrics so compare sees one
+// namespace either way. Blobs that are not obs::Reports (e.g. EXPLAIN
+// ANALYZE arrays) are skipped.
+struct FlatMetrics {
+  std::vector<std::pair<std::string, obs::Report::HistogramEntry>> histograms;
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
+FlatMetrics Flatten(const obs::Report& report) {
+  FlatMetrics flat;
+  auto add = [&flat](const std::string& prefix, const obs::Report& r) {
+    for (const auto& h : r.histograms) {
+      flat.histograms.emplace_back(prefix + h.name, h);
+    }
+    for (const auto& g : r.gauges) {
+      flat.gauges.emplace_back(prefix + g.name, g.value);
+    }
+  };
+  add("", report);
+  for (const auto& blob : report.blobs) {
+    auto sub = obs::ReportFromJson(blob.second);
+    if (sub.ok()) add(blob.first + ".", sub.value());
+  }
+  return flat;
+}
+
+std::string DeltaPercent(double old_value, double new_value) {
+  if (old_value == 0) return new_value == 0 ? "0.0%" : "n/a";
+  double delta = (new_value - old_value) / old_value * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", delta);
+  return buf;
+}
+
+int Compare(const std::string& old_path, const std::string& new_path) {
+  auto old_report = LoadReport(old_path);
+  auto new_report = LoadReport(new_path);
+  for (const auto* r : {&old_report, &new_report}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "error: %s\n", r->status().ToString().c_str());
+      return kExitConfigError;
+    }
+  }
+  FlatMetrics old_flat = Flatten(old_report.value());
+  FlatMetrics new_flat = Flatten(new_report.value());
+
+  std::printf("old: %s (git %s, %s)\nnew: %s (git %s, %s)\n\n",
+              old_path.c_str(), old_report->MetaValue("git").c_str(),
+              old_report->MetaValue("build").c_str(), new_path.c_str(),
+              new_report->MetaValue("git").c_str(),
+              new_report->MetaValue("build").c_str());
+
+  TablePrinter hist_table({"histogram", "p50_old", "p50_new", "Δp50",
+                           "p99_old", "p99_new", "Δp99"});
+  size_t shared = 0;
+  for (const auto& [name, old_h] : old_flat.histograms) {
+    for (const auto& [new_name, new_h] : new_flat.histograms) {
+      if (new_name != name) continue;
+      double old_p50 = old_h.Quantile(0.5), new_p50 = new_h.Quantile(0.5);
+      double old_p99 = old_h.Quantile(0.99), new_p99 = new_h.Quantile(0.99);
+      hist_table.AddRow({name, FormatDouble(old_p50, 4),
+                         FormatDouble(new_p50, 4),
+                         DeltaPercent(old_p50, new_p50),
+                         FormatDouble(old_p99, 4), FormatDouble(new_p99, 4),
+                         DeltaPercent(old_p99, new_p99)});
+      ++shared;
+      break;
+    }
+  }
+  if (shared > 0) hist_table.Print();
+
+  TablePrinter gauge_table({"gauge", "old", "new", "Δ"});
+  size_t shared_gauges = 0;
+  for (const auto& [name, old_v] : old_flat.gauges) {
+    for (const auto& [new_name, new_v] : new_flat.gauges) {
+      if (new_name != name) continue;
+      gauge_table.AddRow({name, FormatDouble(old_v, 4), FormatDouble(new_v, 4),
+                          DeltaPercent(old_v, new_v)});
+      ++shared_gauges;
+      break;
+    }
+  }
+  if (shared_gauges > 0) {
+    if (shared > 0) std::printf("\n");
+    gauge_table.Print();
+  }
+  std::printf("\n%zu shared histogram(s), %zu shared gauge(s)\n", shared,
+              shared_gauges);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string mode = argv[1];
+  if (mode == "merge") {
+    if (argc < 4) return Usage();
+    std::vector<std::string> inputs(argv + 3, argv + argc);
+    return Merge(argv[2], inputs);
+  }
+  if (mode == "compare") {
+    if (argc != 4) return Usage();
+    return Compare(argv[2], argv[3]);
+  }
+  std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+  return Usage();
+}

@@ -8,6 +8,8 @@
 #                                            # candidate-evaluation path
 #   tools/check.sh --release-checks          # Release (NDEBUG) build of the
 #                                            # invariant/malformed-input suites
+#   tools/check.sh --bench-json              # small-scale bench run merged
+#                                            # into build/BENCH_results.json
 #
 # --tsan builds into build-tsan with -DLEGODB_SANITIZE=thread and runs the
 # tests exercising the parallel search (search_test, plus the transform and
@@ -44,6 +46,28 @@ if [[ "${1:-}" == "--release-checks" ]]; then
     storage_test mapping_test
   ctest --test-dir build-release --output-on-failure -j"$(nproc)" \
     -R 'robustness_test|search_test|common_test|relational_test|storage_test|mapping_test'
+  exit 0
+fi
+
+# --bench-json: the bench-trajectory pipeline at smoke scale. Runs
+# micro_engine (executor-equality gate + one quick benchmark) and
+# calibration with their obs reports enabled, merges them with bench_report
+# into build/BENCH_results.json, and double-checks the merged file parses
+# as an obs report (merge already validates; the compare call proves the
+# file is consumable downstream). Any invalid JSON fails the script.
+if [[ "${1:-}" == "--bench-json" ]]; then
+  shift
+  cmake -B build -S . "$@"
+  cmake --build build -j"$(nproc)" --target micro_engine calibration bench_report
+  ./build/bench/micro_engine --benchmark_filter=BM_XmlParse \
+    --benchmark_min_time=0.05 --obs-out=build/BENCH_micro_engine.json \
+    > /dev/null
+  ./build/bench/calibration --reps=2 build/BENCH_calibration.json > /dev/null
+  ./build/tools/bench_report merge build/BENCH_results.json \
+    build/BENCH_micro_engine.json build/BENCH_calibration.json
+  ./build/tools/bench_report compare build/BENCH_results.json \
+    build/BENCH_results.json > /dev/null
+  echo "bench trajectory written to build/BENCH_results.json"
   exit 0
 fi
 

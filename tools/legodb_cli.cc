@@ -6,8 +6,9 @@
 //          [--update 'add_review:2.0:imdb/show/reviews']
 //          [--start so|si] [--beam N] [--threads N] [--threshold F]
 //          [--budget-ms N] [--max-iterations N] [--max-candidates N]
-//          [--failpoints SPEC] [--explain] [--explain-search] [--trace]
-//          [--metrics-out=FILE]
+//          [--failpoints SPEC] [--explain] [--explain-search]
+//          [--explain-analyze] [--xml FILE] [--param NAME=VALUE]
+//          [--trace] [--metrics-out=FILE] [--trace-out=FILE]
 //   legodb --demo imdb|auction       # run on the built-in applications
 //
 // Exit codes: 0 success, 2 configuration error (bad flags, unreadable or
@@ -18,10 +19,20 @@
 // trajectory (cost, candidates, elapsed ms, chosen transformation); --trace
 // dumps the span tree and metrics of the run; --metrics-out writes the full
 // obs::Report as JSON; --explain shows the SQL and plan for each query.
+// --explain-analyze shreds a document into the chosen configuration (a
+// synthetic one for the demos, the --xml file otherwise) and, for every
+// workload query, executes the plan with per-operator profiling and prints
+// the EXPLAIN ANALYZE tree (est vs actual rows, q-error, batches, seeks,
+// self/total time); the trees also land as structured JSON blocks in the
+// --metrics-out report. --param binds symbolic query constants for that
+// execution. --trace-out writes the whole run (search iterations and
+// executor open/next phases) as Chrome-trace JSON loadable by
+// chrome://tracing or Perfetto.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,7 +41,12 @@
 #include "common/failpoint.h"
 #include "core/explain.h"
 #include "core/legodb.h"
+#include "engine/executor.h"
+#include "engine/explain_analyze.h"
 #include "imdb/imdb.h"
+#include "storage/database.h"
+#include "storage/shredder.h"
+#include "xml/parser.h"
 #include "xschema/stats_collector.h"
 #include "optimizer/optimizer.h"
 #include "translate/translate.h"
@@ -72,12 +88,31 @@ int Usage() {
       "usage: legodb --schema FILE --stats FILE --query NAME:W:XQUERY...\n"
       "              [--update NAME:W:path/to/element]... [--start so|si]\n"
       "              [--beam N] [--threads N] [--threshold F] [--explain]\n"
-      "              [--explain-search] [--trace] [--metrics-out=FILE]\n"
-      "              [--budget-ms N] [--max-iterations N]\n"
+      "              [--explain-search] [--explain-analyze] [--xml FILE]\n"
+      "              [--param NAME=VALUE]... [--trace] [--metrics-out=FILE]\n"
+      "              [--trace-out=FILE] [--budget-ms N] [--max-iterations N]\n"
       "              [--max-candidates N] [--failpoints SPEC]\n"
       "       legodb --demo imdb|auction [--explain] [--explain-search]\n"
-      "              [--trace] [--metrics-out=FILE]\n");
+      "              [--explain-analyze] [--trace] [--metrics-out=FILE]\n"
+      "              [--trace-out=FILE]\n");
   return kExitConfigError;
+}
+
+// Splits "name=value"; values that parse wholly as integers bind as ints,
+// everything else as strings.
+StatusOr<std::pair<std::string, Value>> ParseParam(const std::string& spec) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("expected NAME=VALUE, got " + spec);
+  }
+  std::string name = spec.substr(0, eq);
+  std::string text = spec.substr(eq + 1);
+  char* end = nullptr;
+  long long n = std::strtoll(text.c_str(), &end, 10);
+  if (!text.empty() && end != nullptr && *end == '\0') {
+    return std::pair<std::string, Value>{name, Value::Int(n)};
+  }
+  return std::pair<std::string, Value>{name, Value::Str(text)};
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
@@ -92,12 +127,21 @@ Status WriteFile(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   fp::EnableFromEnvOnce();
+  // One registry for the whole invocation: FindBestConfiguration records its
+  // search spans here, and --explain-analyze adds executor spans, so
+  // --trace/--metrics-out/--trace-out see the complete run.
+  obs::Registry run_registry;
+  obs::ScopedRegistry run_scope(&run_registry);
   core::MappingEngine engine;
   core::SearchOptions options = core::GreedySoOptions();
   bool explain = false;
   bool explain_search = false;
+  bool explain_analyze = false;
   bool trace = false;
   std::string metrics_out;
+  std::string trace_out;
+  std::string xml_path;
+  std::map<std::string, Value> params;
   bool have_schema = false;
   std::string demo;
 
@@ -185,6 +229,22 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--explain-search") {
       explain_search = true;
+    } else if (arg == "--explain-analyze") {
+      explain_analyze = true;
+    } else if (arg == "--xml") {
+      const char* v = next();
+      if (!v) return Usage();
+      xml_path = v;
+    } else if (arg == "--param") {
+      const char* v = next();
+      if (!v) return Usage();
+      auto param = ParseParam(v);
+      if (!param.ok()) {
+        st = param.status();
+        st_context = "--param";
+      } else {
+        params[param->first] = param->second;
+      }
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -194,6 +254,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       metrics_out = v;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+      if (trace_out.empty()) return Usage();
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      trace_out = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage();
@@ -248,20 +315,6 @@ int main(int argc, char** argv) {
                   step.applied.c_str());
     }
   }
-  if (trace) {
-    std::printf("\n=== trace ===\n%s\n=== metrics ===\n%s",
-                result->report.SpanTable().c_str(),
-                result->report.MetricsTable().c_str());
-  }
-  if (!metrics_out.empty()) {
-    Status st = WriteFile(metrics_out, result->report.ToJson());
-    if (!st.ok()) {
-      std::fprintf(stderr, "error: metrics file %s: %s\n",
-                   metrics_out.c_str(), st.ToString().c_str());
-      return kExitRuntimeError;
-    }
-    std::printf("metrics report written to %s\n", metrics_out.c_str());
-  }
   std::printf("\n=== physical XML schema ===\n%s\n",
               result->search.best_schema.ToString().c_str());
   std::printf("=== relational configuration ===\n%s\n",
@@ -284,6 +337,111 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+  }
+
+  // --explain-analyze: shred a document into the chosen configuration and
+  // run every workload query with per-operator profiling. Blobs collected
+  // here land in the final metrics report.
+  std::vector<std::pair<std::string, std::string>> explain_blobs;
+  if (explain_analyze) {
+    StatusOr<xml::Document> doc = [&]() -> StatusOr<xml::Document> {
+      if (!xml_path.empty()) {
+        LEGODB_ASSIGN_OR_RETURN(std::string text, ReadFile(xml_path));
+        return xml::ParseDocument(text);
+      }
+      if (demo == "imdb") return imdb::Generate(imdb::ImdbScale{});
+      if (demo == "auction") return auction::Generate(auction::AuctionScale{});
+      return Status::InvalidArgument(
+          "--explain-analyze needs a document: pass --xml FILE or use --demo");
+    }();
+    if (!doc.ok()) {
+      std::fprintf(stderr, "error: --explain-analyze: %s\n",
+                   doc.status().ToString().c_str());
+      return kExitConfigError;
+    }
+    // Demo parameter defaults; explicit --param bindings win.
+    if (demo == "imdb") {
+      params.emplace("c1", Value::Str("title1"));
+      params.emplace("c2", Value::Str("title2"));
+      params.emplace("c4", Value::Str("person3"));
+    } else if (demo == "auction") {
+      params.emplace("c1", Value::Str("person3"));
+    }
+
+    store::Database db(result->mapping.catalog());
+    Status st = store::ShredDocument(doc.value(), result->mapping, &db);
+    if (st.ok()) st = db.PrewarmIndexes();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: --explain-analyze: %s\n",
+                   st.ToString().c_str());
+      return kExitRuntimeError;
+    }
+
+    opt::Optimizer optimizer(result->mapping.catalog(),
+                             *engine.mutable_cost_params());
+    engine::ExecOptions exec_options;
+    exec_options.collect_profile = true;
+    engine::Executor exec(&db, params, exec_options);
+    for (const auto& wq : engine.workload().queries) {
+      auto rq = xlat::TranslateQuery(wq.query, result->mapping);
+      if (!rq.ok()) {
+        std::printf("=== EXPLAIN ANALYZE %s ===\n  (not executable: %s)\n\n",
+                    wq.name.c_str(), rq.status().ToString().c_str());
+        continue;
+      }
+      auto planned = optimizer.PlanQuery(rq.value());
+      if (!planned.ok()) {
+        std::fprintf(stderr, "error: plan %s: %s\n", wq.name.c_str(),
+                     planned.status().ToString().c_str());
+        return kExitRuntimeError;
+      }
+      std::vector<opt::PhysicalPlanPtr> plans;
+      for (const auto& b : planned->blocks) plans.push_back(b.plan);
+      auto rows = exec.ExecuteQuery(rq.value(), plans);
+      if (!rows.ok()) {
+        std::fprintf(stderr, "error: execute %s: %s\n", wq.name.c_str(),
+                     rows.status().ToString().c_str());
+        return kExitRuntimeError;
+      }
+      std::printf("=== EXPLAIN ANALYZE %s (%zu rows) ===\n%s\n",
+                  wq.name.c_str(), rows->rows.size(),
+                  engine::ExplainAnalyzeTable(exec.profile()).c_str());
+      explain_blobs.emplace_back("explain_analyze." + wq.name,
+                                 engine::ExplainAnalyzeJson(exec.profile()));
+    }
+  }
+
+  // Final report: a fresh snapshot of the run registry sees the search
+  // spans (FindBestConfiguration recorded into the ambient registry) plus
+  // any execution spans from --explain-analyze.
+  obs::Report report = run_registry.Snapshot();
+  report.SetMeta("tool", "legodb_cli");
+  if (!demo.empty()) report.SetMeta("workload", demo);
+  for (auto& blob : explain_blobs) {
+    report.AddBlob(blob.first, blob.second);
+  }
+  if (trace) {
+    std::printf("\n=== trace ===\n%s\n=== metrics ===\n%s",
+                report.SpanTable().c_str(), report.MetricsTable().c_str());
+  }
+  if (!metrics_out.empty()) {
+    Status st = WriteFile(metrics_out, report.ToJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: metrics file %s: %s\n",
+                   metrics_out.c_str(), st.ToString().c_str());
+      return kExitRuntimeError;
+    }
+    std::printf("metrics report written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    Status st = WriteFile(trace_out, report.ToChromeTrace());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: trace file %s: %s\n", trace_out.c_str(),
+                   st.ToString().c_str());
+      return kExitRuntimeError;
+    }
+    std::printf("chrome trace written to %s (load in chrome://tracing)\n",
+                trace_out.c_str());
   }
   return 0;
 }
