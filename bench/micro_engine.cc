@@ -217,7 +217,20 @@ int main(int argc, char** argv) {
   // timing wrappers activate whenever a registry is installed, and that
   // overhead must not leak into the default benchmark numbers.
   std::optional<bench::ObsSession> obs_session;
-  if (!obs_out.empty()) obs_session.emplace("micro_engine");
+  if (!obs_out.empty()) {
+    obs_session.emplace("micro_engine");
+    // The trajectory signal is the histograms/counters; cap the raw trace
+    // so thousands of benchmark iterations don't bloat the report (the
+    // first iterations stay inspectable).
+    obs_session->registry()->set_max_spans(2048);
+    // Stamp the engine configuration the unparameterized benchmarks and the
+    // correctness gate ran with (BM_Fig10Batched additionally sweeps its
+    // batch-size argument); report consumers need it to compare runs.
+    engine::ExecOptions defaults;
+    obs_session->SetMeta("batch_size", std::to_string(defaults.batch_size));
+    obs_session->SetMeta("vector_size",
+                         std::to_string(defaults.EffectiveVectorSize()));
+  }
 
   VerifyFig10();
 

@@ -1,15 +1,18 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
+#include <numeric>
 #include <unordered_map>
 #include <utility>
 
+#include "engine/expr_vm.h"
 #include "obs/obs.h"
-#include "xquery/evaluator.h"
 
 namespace legodb::engine {
 
+using store::ColumnVector;
 using store::HashIndex;
 using store::Row;
 using store::StoredTable;
@@ -28,12 +31,39 @@ double OpActual::QError() const {
   return std::max(est / act, act / est);
 }
 
+double OpActual::Selectivity() const {
+  if (rows_in <= 0) return 0;
+  return static_cast<double>(actual_rows) / static_cast<double>(rows_in);
+}
+
 namespace {
 
-// One intermediate tuple: a row pointer per base relation (nullptr when the
-// relation is not yet joined or missed an outer join).
-using Binding = std::vector<const Row*>;
-using Batch = std::vector<Binding>;
+// A lane whose relation is unbound (not yet joined, or an outer-join miss).
+constexpr int32_t kUnboundRow = -1;
+
+// The columnar replacement for the row engine's vector-of-Binding batches:
+// one row-index column per base relation of the block (lane -> row position
+// in that relation's table). A relation with an empty column is unbound in
+// every lane; kUnboundRow marks per-lane misses. Operators touch only the
+// columns they process, and no per-tuple allocation happens anywhere.
+struct ColumnBatch {
+  std::vector<std::vector<int32_t>> rels;
+  size_t lanes = 0;
+
+  void Init(size_t nrels) {
+    rels.resize(nrels);
+    Clear();
+  }
+  void Clear() {
+    for (auto& c : rels) c.clear();
+    lanes = 0;
+  }
+  bool bound(size_t rel) const { return !rels[rel].empty(); }
+  // Row index of `rel` at `lane` (kUnboundRow when the column is unbound).
+  int32_t RowAt(size_t rel, size_t lane) const {
+    return rels[rel].empty() ? kUnboundRow : rels[rel][lane];
+  }
+};
 
 // Static metric names per operator (rows produced, inclusive wall time).
 struct OpMetricNames {
@@ -80,133 +110,17 @@ struct ExecContext {
   const std::map<std::string, Value>* params = nullptr;
   ExecStats* stats = nullptr;
   const opt::QueryBlock* block = nullptr;
-  std::vector<StoredTable*> tables;
-  size_t batch_size = 1;
+  ExprEnv env;  // env.tables doubles as the block's table list
+  size_t vector_size = 1;
   bool timed = false;  // operators accumulate wall time per Next/Open
 
-  std::string QualifiedColumn(int rel, const std::string& column) const {
-    if (rel < 0 || rel >= static_cast<int>(tables.size())) {
-      return "rel#" + std::to_string(rel) + "." + column;
-    }
-    return tables[rel]->meta().name + "." + column;
-  }
+  size_t nrels() const { return block->rels.size(); }
+  std::vector<StoredTable*>& tables() { return env.tables; }
 };
 
-// A filter with its column offset and comparison constant resolved once at
-// operator open; unknown columns and unbound parameters fail the open, they
-// never silently drop rows.
-struct CompiledFilter {
-  int col = -1;
-  xq::CompareOp op = xq::CompareOp::kEq;
-  Value want;
-  bool not_null = false;
-};
-
-// A residual join edge with both column offsets resolved.
-struct CompiledResidual {
-  int left_rel = -1;
-  int left_col = -1;
-  int right_rel = -1;
-  int right_col = -1;
-};
-
-StatusOr<Value> ResolveConstant(const ExecContext& ctx, const xq::Constant& c) {
-  switch (c.kind) {
-    case xq::Constant::Kind::kInt:
-      return Value::Int(c.int_value);
-    case xq::Constant::Kind::kString:
-      return xq::CanonicalValue(c.string_value);
-    case xq::Constant::Kind::kSymbol: {
-      auto it = ctx.params->find(c.symbol);
-      if (it == ctx.params->end()) {
-        return Status::InvalidArgument("unbound query parameter '" + c.symbol +
-                                       "'");
-      }
-      return it->second;
-    }
-  }
-  return Status::Internal("bad constant");
-}
-
-StatusOr<int> ResolveColumn(const ExecContext& ctx, int rel,
-                            const std::string& column, const char* what) {
-  if (rel < 0 || rel >= static_cast<int>(ctx.tables.size())) {
-    return Status::Internal(std::string(what) + " references relation #" +
-                            std::to_string(rel) + " outside the block");
-  }
-  int idx = ctx.tables[rel]->meta().ColumnIndex(column);
-  if (idx < 0) {
-    return Status::Internal(std::string(what) + " references unknown column '" +
-                            ctx.QualifiedColumn(rel, column) +
-                            "' (translator/catalog drift)");
-  }
-  return idx;
-}
-
-// Compiles the filters of `filters` that apply to `rel`.
-StatusOr<std::vector<CompiledFilter>> CompileFilters(
-    const ExecContext& ctx, int rel,
-    const std::vector<opt::FilterPred>& filters) {
-  std::vector<CompiledFilter> out;
-  for (const auto& f : filters) {
-    if (f.rel != rel) continue;
-    CompiledFilter cf;
-    LEGODB_ASSIGN_OR_RETURN(cf.col, ResolveColumn(ctx, rel, f.column, "filter"));
-    cf.op = f.op;
-    cf.not_null = f.not_null;
-    if (!f.not_null) {
-      LEGODB_ASSIGN_OR_RETURN(cf.want, ResolveConstant(ctx, f.value));
-    }
-    out.push_back(std::move(cf));
-  }
-  return out;
-}
-
-bool PassFilters(const Row& row, const std::vector<CompiledFilter>& filters) {
-  for (const auto& f : filters) {
-    const Value& v = row[f.col];
-    if (v.is_null()) return false;
-    if (f.not_null) continue;
-    if (!xq::ApplyCompare(f.op, v, f.want)) return false;
-  }
-  return true;
-}
-
-StatusOr<std::vector<CompiledResidual>> CompileResiduals(
-    const ExecContext& ctx, const std::vector<opt::JoinEdge>& edges) {
-  std::vector<CompiledResidual> out;
-  for (const auto& e : edges) {
-    CompiledResidual cr;
-    cr.left_rel = e.left_rel;
-    cr.right_rel = e.right_rel;
-    LEGODB_ASSIGN_OR_RETURN(
-        cr.left_col, ResolveColumn(ctx, e.left_rel, e.left_column,
-                                   "residual join"));
-    LEGODB_ASSIGN_OR_RETURN(
-        cr.right_col, ResolveColumn(ctx, e.right_rel, e.right_column,
-                                    "residual join"));
-    out.push_back(cr);
-  }
-  return out;
-}
-
-// Extra join predicates beyond the driving hash/index edge.
-bool ResidualsPass(const Binding& merged,
-                   const std::vector<CompiledResidual>& residuals) {
-  for (const auto& r : residuals) {
-    const Row* l = merged[r.left_rel];
-    const Row* rr = merged[r.right_rel];
-    if (!l || !rr) return false;
-    const Value& lv = (*l)[r.left_col];
-    const Value& rv = (*rr)[r.right_col];
-    if (lv.is_null() || rv.is_null() || !(lv == rv)) return false;
-  }
-  return true;
-}
-
-// A pipelined operator: Next() refills `out` with up to ctx->batch_size
-// bindings (join operators may overshoot when one input binding matches
-// several rows); an empty `out` signals end of stream.
+// A pipelined operator: Next() refills `out` with up to ctx->vector_size
+// lanes (join operators may overshoot when one input lane matches several
+// rows); zero lanes signal end of stream.
 class Operator {
  public:
   Operator(ExecContext* ctx, const opt::PhysicalPlan* node)
@@ -214,11 +128,11 @@ class Operator {
   virtual ~Operator() = default;
 
   virtual Status Open() = 0;
-  virtual Status Next(Batch* out) = 0;
+  virtual Status Next(ColumnBatch* out) = 0;
 
-  // Open/Next wrappers accumulating produced rows, batches, inclusive wall
-  // time and inclusive seeks (child pulls included, mirroring the
-  // optimizer's inclusive est_cost).
+  // Open/Next wrappers accumulating produced rows, batches, vectors,
+  // inclusive wall time and inclusive seeks (child pulls included,
+  // mirroring the optimizer's inclusive est_cost).
   Status OpenTimed() {
     if (!ctx_->timed) return Open();
     int64_t t0 = obs::NowNanos();
@@ -228,43 +142,86 @@ class Operator {
     seeks_ += ctx_->stats->seeks - seeks0;
     return s;
   }
-  Status NextTimed(Batch* out) {
+  Status NextTimed(ColumnBatch* out) {
     if (!ctx_->timed) return Next(out);
     int64_t t0 = obs::NowNanos();
     double seeks0 = ctx_->stats->seeks;
     Status s = Next(out);
     ns_ += obs::NowNanos() - t0;
     seeks_ += ctx_->stats->seeks - seeks0;
-    rows_ += static_cast<int64_t>(out->size());
+    rows_ += static_cast<int64_t>(out->lanes);
     ++batches_;
+    if (out->lanes > 0) {
+      for (const auto& col : out->rels) {
+        if (!col.empty()) ++vectors_;
+      }
+    }
     return s;
   }
 
   const opt::PhysicalPlan* node() const { return node_; }
   int64_t rows_produced() const { return rows_; }
+  int64_t rows_examined() const { return rows_in_; }
   int64_t batches() const { return batches_; }
+  int64_t vectors() const { return vectors_; }
   double seeks() const { return seeks_; }
   double millis() const { return static_cast<double>(ns_) / 1e6; }
 
  protected:
-  Binding NewBinding(int rel, const Row* row) const {
-    Binding b(ctx_->block->rels.size(), nullptr);
-    b[rel] = row;
-    return b;
-  }
   double RowWidth(int rel) const {
-    return ctx_->tables[rel]->meta().RowWidth();
+    return ctx_->tables()[rel]->meta().RowWidth();
   }
   ExecStats& stats() const { return *ctx_->stats; }
+  void CountInput(size_t lanes) {
+    rows_in_ += static_cast<int64_t>(lanes);
+  }
 
   ExecContext* ctx_;
   const opt::PhysicalPlan* node_;
 
  private:
   int64_t rows_ = 0;
+  int64_t rows_in_ = 0;
   int64_t batches_ = 0;
+  int64_t vectors_ = 0;
   int64_t ns_ = 0;
   double seeks_ = 0;
+};
+
+// Shared filtering kernel for the two scan-shaped operators: runs the
+// compiled filter over `take` candidate row indices and appends the
+// selected ones to `out_col`. `cand` must hold the candidates as int32.
+class ScanFilter {
+ public:
+  Status Compile(const ExecContext& ctx, int rel,
+                 const std::vector<opt::FilterPred>& filters) {
+    LEGODB_ASSIGN_OR_RETURN(
+        program_, CompileFilters(ctx.env, rel, filters, *ctx.params));
+    rel_ = rel;
+    return Status::OK();
+  }
+
+  bool empty() const { return program_.empty(); }
+
+  void Apply(const int32_t* cand, size_t take, std::vector<int32_t>* out_col) {
+    mask_.resize(take);
+    program_.EvalRows(rel_, cand, take, mask_.data());
+    for (size_t i = 0; i < take; ++i) {
+      if (mask_[i]) out_col->push_back(cand[i]);
+    }
+  }
+
+  // Evaluates the filter over `cand` and ANDs the result into `mask`.
+  void ApplyMask(const int32_t* cand, size_t take, uint8_t* mask) {
+    mask_.resize(take);
+    program_.EvalRows(rel_, cand, take, mask_.data());
+    for (size_t i = 0; i < take; ++i) mask[i] = mask[i] & mask_[i];
+  }
+
+ private:
+  ExprProgram program_;
+  int rel_ = -1;
+  std::vector<uint8_t> mask_;
 };
 
 class SeqScanOp : public Operator {
@@ -272,32 +229,41 @@ class SeqScanOp : public Operator {
   using Operator::Operator;
 
   Status Open() override {
-    LEGODB_ASSIGN_OR_RETURN(
-        filters_, CompileFilters(*ctx_, node_->rel, node_->filters));
+    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_->rel, node_->filters));
     width_ = RowWidth(node_->rel);
     stats().seeks += 1;
     pos_ = 0;
     return Status::OK();
   }
 
-  Status Next(Batch* out) override {
-    out->clear();
-    const std::vector<Row>& rows = ctx_->tables[node_->rel]->rows();
-    size_t scanned = 0;
-    while (pos_ < rows.size() && out->size() < ctx_->batch_size) {
-      const Row& row = rows[pos_++];
-      ++scanned;
-      if (PassFilters(row, filters_)) {
-        out->push_back(NewBinding(node_->rel, &row));
+  Status Next(ColumnBatch* out) override {
+    out->Clear();
+    size_t total = ctx_->tables()[node_->rel]->row_count();
+    std::vector<int32_t>& col = out->rels[node_->rel];
+    // An empty batch signals end of stream, so keep scanning candidate
+    // vectors until at least one row survives or the table is exhausted.
+    while (col.empty() && pos_ < total) {
+      size_t take = std::min(ctx_->vector_size, total - pos_);
+      if (filter_.empty()) {
+        col.resize(take);
+        std::iota(col.begin(), col.end(), static_cast<int32_t>(pos_));
+      } else {
+        cand_.resize(take);
+        std::iota(cand_.begin(), cand_.end(), static_cast<int32_t>(pos_));
+        filter_.Apply(cand_.data(), take, &col);
       }
+      pos_ += take;
+      CountInput(take);
+      stats().tuples_processed += static_cast<double>(take);
+      stats().bytes_read += static_cast<double>(take) * width_;
     }
-    stats().tuples_processed += static_cast<double>(scanned);
-    stats().bytes_read += static_cast<double>(scanned) * width_;
+    out->lanes = col.size();
     return Status::OK();
   }
 
  private:
-  std::vector<CompiledFilter> filters_;
+  ScanFilter filter_;
+  std::vector<int32_t> cand_;
   double width_ = 0;
   size_t pos_ = 0;
 };
@@ -307,8 +273,7 @@ class IndexLookupOp : public Operator {
   using Operator::Operator;
 
   Status Open() override {
-    LEGODB_ASSIGN_OR_RETURN(
-        filters_, CompileFilters(*ctx_, node_->rel, node_->filters));
+    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_->rel, node_->filters));
     const opt::FilterPred* driver = nullptr;
     for (const auto& f : node_->filters) {
       if (f.rel == node_->rel && f.column == node_->index_column &&
@@ -320,10 +285,11 @@ class IndexLookupOp : public Operator {
     if (!driver) {
       return Status::Internal("index lookup without driving filter");
     }
-    LEGODB_ASSIGN_OR_RETURN(Value key, ResolveConstant(*ctx_, driver->value));
+    LEGODB_ASSIGN_OR_RETURN(Value key,
+                            ResolveConstant(*ctx_->params, driver->value));
     LEGODB_ASSIGN_OR_RETURN(
         const HashIndex* index,
-        ctx_->tables[node_->rel]->GetOrBuildIndex(node_->index_column));
+        ctx_->tables()[node_->rel]->GetOrBuildIndex(node_->index_column));
     hits_ = &index->Find(key);
     width_ = RowWidth(node_->rel);
     stats().seeks += 1;
@@ -331,34 +297,94 @@ class IndexLookupOp : public Operator {
     return Status::OK();
   }
 
-  Status Next(Batch* out) override {
-    out->clear();
-    const std::vector<Row>& rows = ctx_->tables[node_->rel]->rows();
-    size_t scanned = 0;
-    while (pos_ < hits_->size() && out->size() < ctx_->batch_size) {
-      const Row& row = rows[(*hits_)[pos_++]];
-      ++scanned;
-      if (PassFilters(row, filters_)) {
-        out->push_back(NewBinding(node_->rel, &row));
+  Status Next(ColumnBatch* out) override {
+    out->Clear();
+    std::vector<int32_t>& col = out->rels[node_->rel];
+    // As in SeqScan: empty output means EOS, so drain candidate vectors
+    // until a row survives the residual filter.
+    while (col.empty() && pos_ < hits_->size()) {
+      size_t take = std::min(ctx_->vector_size, hits_->size() - pos_);
+      cand_.resize(take);
+      for (size_t i = 0; i < take; ++i) {
+        cand_[i] = static_cast<int32_t>((*hits_)[pos_ + i]);
       }
+      pos_ += take;
+      if (filter_.empty()) {
+        col.assign(cand_.begin(), cand_.end());
+      } else {
+        filter_.Apply(cand_.data(), take, &col);
+      }
+      CountInput(take);
+      stats().seeks += static_cast<double>(take);
+      stats().tuples_processed += static_cast<double>(take);
+      stats().bytes_read += static_cast<double>(take) * width_;
     }
-    stats().seeks += static_cast<double>(scanned);
-    stats().tuples_processed += static_cast<double>(scanned);
-    stats().bytes_read += static_cast<double>(scanned) * width_;
+    out->lanes = col.size();
     return Status::OK();
   }
 
  private:
-  std::vector<CompiledFilter> filters_;
+  ScanFilter filter_;
+  std::vector<int32_t> cand_;
   const std::vector<size_t>* hits_ = nullptr;
   double width_ = 0;
   size_t pos_ = 0;
 };
 
+// Match-candidate plumbing shared by the two join operators: candidates are
+// (probe lane, match ordinal) pairs generated per probe batch, grouped
+// contiguously by lane so outer-join misses can be interleaved at the
+// right position. After the residual bytecode produces a selection mask,
+// EmitLanes builds the (lane, ordinal) emission list — ordinal kUnboundRow
+// marks a preserved outer lane — and the join gathers output columns from
+// it with tight per-column loops.
+struct JoinCandidates {
+  std::vector<int32_t> lane;       // probe lane per candidate
+  std::vector<int32_t> ord;        // match ordinal per candidate
+  std::vector<size_t> group_end;   // per probe lane: end offset in lane/ord
+  std::vector<int32_t> emit_lane;  // emission list after mask + outer rules
+  std::vector<int32_t> emit_ord;
+
+  void Reset(size_t probe_lanes) {
+    lane.clear();
+    ord.clear();
+    group_end.resize(probe_lanes);
+  }
+
+  void Add(size_t probe_lane, int32_t ordinal) {
+    lane.push_back(static_cast<int32_t>(probe_lane));
+    ord.push_back(ordinal);
+  }
+
+  void CloseGroup(size_t probe_lane) { group_end[probe_lane] = ord.size(); }
+
+  // `mask` may be nullptr (all candidates pass).
+  void EmitLanes(size_t probe_lanes, const uint8_t* mask, bool left_outer) {
+    emit_lane.clear();
+    emit_ord.clear();
+    size_t start = 0;
+    for (size_t l = 0; l < probe_lanes; ++l) {
+      size_t end = group_end[l];
+      bool matched = false;
+      for (size_t c = start; c < end; ++c) {
+        if (mask != nullptr && !mask[c]) continue;
+        emit_lane.push_back(lane[c]);
+        emit_ord.push_back(ord[c]);
+        matched = true;
+      }
+      if (!matched && left_outer) {
+        emit_lane.push_back(static_cast<int32_t>(l));
+        emit_ord.push_back(kUnboundRow);
+      }
+      start = end;
+    }
+  }
+};
+
 // Hash join: materializes the build (right) side at open, then streams
 // probe batches through the hash table. Probe order is preserved and
-// matches per probe binding come in build order, so output order is
-// identical to the materializing reference executor at any batch size.
+// matches per probe lane come in build order, so output order is identical
+// to the materializing reference executor at any batch size.
 //
 // When the build side is a bare unfiltered scan of the joined relation,
 // the join skips materialization entirely and probes the table's shared
@@ -377,13 +403,18 @@ class HashJoinOp : public Operator {
   Status Open() override {
     LEGODB_RETURN_IF_ERROR(probe_->OpenTimed());
     LEGODB_ASSIGN_OR_RETURN(
-        build_col_, ResolveColumn(*ctx_, node_->right_join_rel,
-                                  node_->right_join_column, "hash join"));
+        build_key_, ResolveColumnVector(ctx_->env, node_->right_join_rel,
+                                        node_->right_join_column, "hash join"));
     LEGODB_ASSIGN_OR_RETURN(
-        probe_col_, ResolveColumn(*ctx_, node_->left_join_rel,
-                                  node_->left_join_column, "hash join"));
+        probe_key_, ResolveColumnVector(ctx_->env, node_->left_join_rel,
+                                        node_->left_join_column, "hash join"));
     LEGODB_ASSIGN_OR_RETURN(residuals_,
-                            CompileResiduals(*ctx_, node_->residual_joins));
+                            CompileResiduals(ctx_->env, node_->residual_joins));
+    size_t nrels = ctx_->nrels();
+    in_.Init(nrels);
+    build_bound_.assign(nrels, 0);
+    gather_.resize(nrels);
+    relptrs_.assign(nrels, nullptr);
 
     int build_rel = node_->right_join_rel;
     const opt::PhysicalPlan* b = node_->right.get();
@@ -391,88 +422,168 @@ class HashJoinOp : public Operator {
         b->rel == build_rel && b->filters.empty()) {
       LEGODB_ASSIGN_OR_RETURN(
           shared_index_,
-          ctx_->tables[build_rel]->GetOrBuildIndex(node_->right_join_column));
+          ctx_->tables()[build_rel]->GetOrBuildIndex(node_->right_join_column));
+      build_bound_[build_rel] = 1;
       // Charge what the materializing path would have: the build-side scan
       // (one seek, every row read) plus the join's build-input tuples.
-      double n = static_cast<double>(ctx_->tables[build_rel]->row_count());
+      double n = static_cast<double>(ctx_->tables()[build_rel]->row_count());
       stats().seeks += 1;
       stats().tuples_processed += 2 * n;
       stats().bytes_read += n * RowWidth(build_rel);
       return Status::OK();
     }
 
-    // Drain and materialize the build side, then key it by join value.
+    // Drain and materialize the build side columnar, then key it by join
+    // value through the build relation's column vector.
     LEGODB_RETURN_IF_ERROR(build_->OpenTimed());
-    Batch in;
+    build_cols_.assign(nrels, {});
+    ColumnBatch bin;
+    bin.Init(nrels);
+    size_t count = 0;
     do {
-      LEGODB_RETURN_IF_ERROR(build_->NextTimed(&in));
-      for (Binding& b2 : in) build_rows_.push_back(std::move(b2));
-    } while (!in.empty());
-    for (size_t i = 0; i < build_rows_.size(); ++i) {
-      const Row* row = build_rows_[i][build_rel];
-      if (!row || (*row)[build_col_].is_null()) continue;
-      table_[(*row)[build_col_]].push_back(i);
+      LEGODB_RETURN_IF_ERROR(build_->NextTimed(&bin));
+      for (size_t r = 0; r < nrels; ++r) {
+        if (!bin.bound(r)) continue;
+        build_bound_[r] = 1;
+        build_cols_[r].insert(build_cols_[r].end(), bin.rels[r].begin(),
+                              bin.rels[r].end());
+      }
+      count += bin.lanes;
+    } while (bin.lanes > 0);
+    build_count_ = count;
+    const std::vector<int32_t>* brows =
+        build_bound_[build_rel] ? &build_cols_[build_rel] : nullptr;
+    // Integer join keys (the common case: ids) key an int64 table directly,
+    // skipping Value hashing/equality on every build row and probe lane.
+    typed_keys_ = build_key_->typed_int() && probe_key_->typed_int();
+    for (size_t i = 0; i < count; ++i) {
+      int32_t r = brows ? (*brows)[i] : kUnboundRow;
+      if (r < 0 || build_key_->is_null(r)) continue;
+      if (typed_keys_) {
+        int_table_[build_key_->ints()[r]].push_back(static_cast<int32_t>(i));
+      } else {
+        table_[build_key_->value(r)].push_back(static_cast<int32_t>(i));
+      }
     }
-    stats().tuples_processed += static_cast<double>(build_rows_.size());
+    stats().tuples_processed += static_cast<double>(count);
     return Status::OK();
   }
 
-  Status Next(Batch* out) override {
-    out->clear();
-    int probe_rel = node_->left_join_rel;
-    int build_rel = node_->right_join_rel;
-    const std::vector<Row>* build_table =
-        shared_index_ ? &ctx_->tables[build_rel]->rows() : nullptr;
-    while (out->empty()) {
+  Status Next(ColumnBatch* out) override {
+    out->Clear();
+    const int probe_rel = node_->left_join_rel;
+    const int build_rel = node_->right_join_rel;
+    while (out->lanes == 0) {
       LEGODB_RETURN_IF_ERROR(probe_->NextTimed(&in_));
-      if (in_.empty()) return Status::OK();  // end of stream
-      stats().tuples_processed += static_cast<double>(in_.size());
-      for (Binding& l : in_) {
-        const Row* row = l[probe_rel];
-        bool matched = false;
-        if (row && !(*row)[probe_col_].is_null()) {
-          const Value& key = (*row)[probe_col_];
+      if (in_.lanes == 0) return Status::OK();  // end of stream
+      stats().tuples_processed += static_cast<double>(in_.lanes);
+      CountInput(in_.lanes);
+
+      cand_.Reset(in_.lanes);
+      const std::vector<int32_t>& prow = in_.rels[probe_rel];
+      for (size_t l = 0; l < in_.lanes; ++l) {
+        int32_t r = prow.empty() ? kUnboundRow : prow[l];
+        if (r >= 0 && !probe_key_->is_null(r)) {
           if (shared_index_) {
-            for (size_t idx : shared_index_->Find(key)) {
-              const Row& brow = (*build_table)[idx];
-              if (brow[build_col_].is_null()) continue;
-              Binding merged = l;
-              merged[build_rel] = &brow;
-              if (!ResidualsPass(merged, residuals_)) continue;
-              out->push_back(std::move(merged));
-              matched = true;
+            for (size_t idx : shared_index_->Find(probe_key_->value(r))) {
+              if (build_key_->is_null(idx)) continue;
+              cand_.Add(l, static_cast<int32_t>(idx));
             }
-          } else if (auto it = table_.find(key); it != table_.end()) {
-            for (size_t idx : it->second) {
-              const Binding& r = build_rows_[idx];
-              Binding merged = l;
-              for (size_t i = 0; i < merged.size(); ++i) {
-                if (r[i]) merged[i] = r[i];
-              }
-              if (!ResidualsPass(merged, residuals_)) continue;
-              out->push_back(std::move(merged));
-              matched = true;
+          } else if (typed_keys_) {
+            if (auto it = int_table_.find(probe_key_->ints()[r]);
+                it != int_table_.end()) {
+              for (int32_t ordinal : it->second) cand_.Add(l, ordinal);
             }
+          } else if (auto it = table_.find(probe_key_->value(r));
+                     it != table_.end()) {
+            for (int32_t ordinal : it->second) cand_.Add(l, ordinal);
           }
         }
-        // Preserve the probe binding exactly once when no hash match
-        // survived the residual predicates.
-        if (!matched && node_->left_outer) out->push_back(l);
+        cand_.CloseGroup(l);
       }
+
+      const uint8_t* mask = nullptr;
+      if (!residuals_.empty() && !cand_.ord.empty()) {
+        EvalResiduals(build_rel);
+        mask = mask_.data();
+      }
+      cand_.EmitLanes(in_.lanes, mask, node_->left_outer);
+
+      // Gather output columns from the emission list.
+      size_t m = cand_.emit_lane.size();
+      for (size_t r = 0; r < in_.rels.size(); ++r) {
+        if (!in_.bound(r)) continue;
+        const int32_t* src = in_.rels[r].data();
+        std::vector<int32_t>& dst = out->rels[r];
+        dst.resize(m);
+        for (size_t j = 0; j < m; ++j) dst[j] = src[cand_.emit_lane[j]];
+      }
+      if (shared_index_) {
+        out->rels[build_rel] = cand_.emit_ord;
+      } else {
+        for (size_t r = 0; r < build_bound_.size(); ++r) {
+          if (!build_bound_[r]) continue;
+          const int32_t* src = build_cols_[r].data();
+          std::vector<int32_t>& dst = out->rels[r];
+          dst.resize(m);
+          for (size_t j = 0; j < m; ++j) {
+            int32_t o = cand_.emit_ord[j];
+            dst[j] = o < 0 ? kUnboundRow : src[o];
+          }
+        }
+      }
+      out->lanes = m;
     }
     return Status::OK();
   }
 
  private:
+  // Materializes the candidate lanes the residual program reads (probe-side
+  // columns gathered by candidate lane, build-side by candidate ordinal)
+  // and evaluates it into mask_.
+  void EvalResiduals(int build_rel) {
+    size_t c = cand_.ord.size();
+    std::fill(relptrs_.begin(), relptrs_.end(), nullptr);
+    for (size_t r = 0; r < in_.rels.size(); ++r) {
+      if (!in_.bound(r)) continue;
+      const int32_t* src = in_.rels[r].data();
+      gather_[r].resize(c);
+      for (size_t j = 0; j < c; ++j) gather_[r][j] = src[cand_.lane[j]];
+      relptrs_[r] = gather_[r].data();
+    }
+    if (shared_index_) {
+      relptrs_[build_rel] = cand_.ord.data();
+    } else {
+      for (size_t r = 0; r < build_bound_.size(); ++r) {
+        if (!build_bound_[r]) continue;
+        const int32_t* src = build_cols_[r].data();
+        gather_[r].resize(c);
+        for (size_t j = 0; j < c; ++j) gather_[r][j] = src[cand_.ord[j]];
+        relptrs_[r] = gather_[r].data();
+      }
+    }
+    mask_.resize(c);
+    residuals_.Eval(LaneView{relptrs_.data(), relptrs_.size(), c},
+                    mask_.data());
+  }
+
   std::unique_ptr<Operator> probe_;
   std::unique_ptr<Operator> build_;
-  int build_col_ = -1;
-  int probe_col_ = -1;
-  std::vector<CompiledResidual> residuals_;
+  const ColumnVector* build_key_ = nullptr;
+  const ColumnVector* probe_key_ = nullptr;
+  ExprProgram residuals_;
   const HashIndex* shared_index_ = nullptr;  // fast path when non-null
-  std::vector<Binding> build_rows_;
-  std::unordered_map<Value, std::vector<size_t>, ValueHash> table_;
-  Batch in_;
+  std::vector<std::vector<int32_t>> build_cols_;  // materialized build side
+  std::vector<uint8_t> build_bound_;
+  size_t build_count_ = 0;
+  bool typed_keys_ = false;
+  std::unordered_map<Value, std::vector<int32_t>, ValueHash> table_;
+  std::unordered_map<int64_t, std::vector<int32_t>> int_table_;
+  ColumnBatch in_;
+  JoinCandidates cand_;
+  std::vector<std::vector<int32_t>> gather_;
+  std::vector<const int32_t*> relptrs_;
+  std::vector<uint8_t> mask_;
 };
 
 class IndexNLJoinOp : public Operator {
@@ -483,60 +594,106 @@ class IndexNLJoinOp : public Operator {
 
   Status Open() override {
     LEGODB_RETURN_IF_ERROR(outer_->OpenTimed());
+    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_->rel, node_->filters));
     LEGODB_ASSIGN_OR_RETURN(
-        filters_, CompileFilters(*ctx_, node_->rel, node_->filters));
+        outer_key_, ResolveColumnVector(ctx_->env, node_->left_join_rel,
+                                        node_->left_join_column, "index join"));
     LEGODB_ASSIGN_OR_RETURN(
-        outer_col_, ResolveColumn(*ctx_, node_->left_join_rel,
-                                  node_->left_join_column, "index join"));
-    LEGODB_ASSIGN_OR_RETURN(
-        index_, ctx_->tables[node_->rel]->GetOrBuildIndex(node_->index_column));
+        index_,
+        ctx_->tables()[node_->rel]->GetOrBuildIndex(node_->index_column));
     LEGODB_ASSIGN_OR_RETURN(residuals_,
-                            CompileResiduals(*ctx_, node_->residual_joins));
+                            CompileResiduals(ctx_->env, node_->residual_joins));
     width_ = RowWidth(node_->rel);
+    in_.Init(ctx_->nrels());
+    gather_.resize(ctx_->nrels());
+    relptrs_.assign(ctx_->nrels(), nullptr);
     return Status::OK();
   }
 
-  Status Next(Batch* out) override {
-    out->clear();
-    int outer_rel = node_->left_join_rel;
-    int inner_rel = node_->rel;
-    const std::vector<Row>& inner_rows = ctx_->tables[inner_rel]->rows();
-    while (out->empty()) {
+  Status Next(ColumnBatch* out) override {
+    out->Clear();
+    const int outer_rel = node_->left_join_rel;
+    const int inner_rel = node_->rel;
+    while (out->lanes == 0) {
       LEGODB_RETURN_IF_ERROR(outer_->NextTimed(&in_));
-      if (in_.empty()) return Status::OK();  // end of stream
-      for (Binding& l : in_) {
-        const Row* row = l[outer_rel];
-        bool matched = false;
-        stats().seeks += 1;
-        if (row && !(*row)[outer_col_].is_null()) {
-          const std::vector<size_t>& hits = index_->Find((*row)[outer_col_]);
+      if (in_.lanes == 0) return Status::OK();  // end of stream
+      CountInput(in_.lanes);
+
+      cand_.Reset(in_.lanes);
+      const std::vector<int32_t>& orow = in_.rels[outer_rel];
+      stats().seeks += static_cast<double>(in_.lanes);
+      for (size_t l = 0; l < in_.lanes; ++l) {
+        int32_t r = orow.empty() ? kUnboundRow : orow[l];
+        if (r >= 0 && !outer_key_->is_null(r)) {
+          const std::vector<size_t>& hits = index_->Find(outer_key_->value(r));
           stats().seeks += static_cast<double>(hits.size());
           stats().tuples_processed += static_cast<double>(hits.size());
           stats().bytes_read += static_cast<double>(hits.size()) * width_;
-          for (size_t idx : hits) {
-            const Row& irow = inner_rows[idx];
-            if (!PassFilters(irow, filters_)) continue;
-            Binding merged = l;
-            merged[inner_rel] = &irow;
-            if (!ResidualsPass(merged, residuals_)) continue;
-            out->push_back(std::move(merged));
-            matched = true;
-          }
+          for (size_t idx : hits) cand_.Add(l, static_cast<int32_t>(idx));
         }
-        if (!matched && node_->left_outer) out->push_back(l);
+        cand_.CloseGroup(l);
       }
+
+      // Combined selection: inner residual filters AND residual join edges,
+      // both over the candidate lanes.
+      const uint8_t* mask = nullptr;
+      size_t c = cand_.ord.size();
+      if (c > 0 && (!filter_.empty() || !residuals_.empty())) {
+        mask_.assign(c, 1);
+        if (!filter_.empty()) {
+          filter_.ApplyMask(cand_.ord.data(), c, mask_.data());
+        }
+        if (!residuals_.empty()) {
+          EvalResiduals(inner_rel);
+        }
+        mask = mask_.data();
+      }
+      cand_.EmitLanes(in_.lanes, mask, node_->left_outer);
+
+      size_t m = cand_.emit_lane.size();
+      for (size_t r = 0; r < in_.rels.size(); ++r) {
+        if (!in_.bound(r)) continue;
+        const int32_t* src = in_.rels[r].data();
+        std::vector<int32_t>& dst = out->rels[r];
+        dst.resize(m);
+        for (size_t j = 0; j < m; ++j) dst[j] = src[cand_.emit_lane[j]];
+      }
+      out->rels[inner_rel] = cand_.emit_ord;
+      out->lanes = m;
     }
     return Status::OK();
   }
 
  private:
+  void EvalResiduals(int inner_rel) {
+    size_t c = cand_.ord.size();
+    std::fill(relptrs_.begin(), relptrs_.end(), nullptr);
+    for (size_t r = 0; r < in_.rels.size(); ++r) {
+      if (!in_.bound(r)) continue;
+      const int32_t* src = in_.rels[r].data();
+      gather_[r].resize(c);
+      for (size_t j = 0; j < c; ++j) gather_[r][j] = src[cand_.lane[j]];
+      relptrs_[r] = gather_[r].data();
+    }
+    relptrs_[inner_rel] = cand_.ord.data();
+    rmask_.resize(c);
+    residuals_.Eval(LaneView{relptrs_.data(), relptrs_.size(), c},
+                    rmask_.data());
+    for (size_t j = 0; j < c; ++j) mask_[j] = mask_[j] & rmask_[j];
+  }
+
   std::unique_ptr<Operator> outer_;
-  std::vector<CompiledFilter> filters_;
-  std::vector<CompiledResidual> residuals_;
+  ScanFilter filter_;
+  ExprProgram residuals_;
+  const ColumnVector* outer_key_ = nullptr;
   const HashIndex* index_ = nullptr;
-  int outer_col_ = -1;
   double width_ = 0;
-  Batch in_;
+  ColumnBatch in_;
+  JoinCandidates cand_;
+  std::vector<std::vector<int32_t>> gather_;
+  std::vector<const int32_t*> relptrs_;
+  std::vector<uint8_t> mask_;
+  std::vector<uint8_t> rmask_;
 };
 
 // Builds the operator tree under a projection root, collecting every
@@ -626,7 +783,7 @@ class BlockExecutor {
     ctx_.params = &e->params_;
     ctx_.stats = &e->stats_;
     ctx_.block = &block;
-    ctx_.batch_size = std::max<size_t>(1, e->options_.batch_size);
+    ctx_.vector_size = e->options_.EffectiveVectorSize();
     ctx_.timed =
         e->options_.collect_profile || obs::Current() != nullptr;
   }
@@ -640,7 +797,7 @@ class BlockExecutor {
     for (const auto& rel : block.rels) {
       StoredTable* table = e->db_->FindTable(rel.table);
       if (!table) return Status::NotFound("table '" + rel.table + "'");
-      ctx_.tables.push_back(table);
+      ctx_.tables().push_back(table);
     }
 
     std::vector<Operator*> preorder;
@@ -654,6 +811,7 @@ class BlockExecutor {
     struct Output {
       int rel = -1;
       int col = -1;
+      const std::vector<Row>* rows = nullptr;
     };
     std::vector<Output> outputs;
     outputs.reserve(block.output.size());
@@ -665,7 +823,8 @@ class BlockExecutor {
       Output o;
       o.rel = out.rel;
       if (out.rel >= 0) {
-        o.col = ctx_.tables[out.rel]->meta().ColumnIndex(out.column);
+        o.col = ctx_.tables()[out.rel]->meta().ColumnIndex(out.column);
+        o.rows = &ctx_.tables()[out.rel]->rows();
       }
       outputs.push_back(o);
     }
@@ -673,33 +832,38 @@ class BlockExecutor {
     int64_t t0 = ctx_.timed ? obs::NowNanos() : 0;
     int64_t root_batches = 0;
     {
-      // Trace slice for the open phase (filter compilation, hash-join
+      // Trace slice for the open phase (predicate compilation, hash-join
       // build); no-op without an ambient registry.
       obs::Span open_span("exec.open");
       LEGODB_RETURN_IF_ERROR(root->OpenTimed());
     }
     {
       // Trace slice for the pull/projection phase, sibling of exec.open.
+      // This is the only place lanes materialize back into value rows.
       obs::Span next_span("exec.next");
-      Batch batch;
+      ColumnBatch batch;
+      batch.Init(ctx_.nrels());
       do {
         LEGODB_RETURN_IF_ERROR(root->NextTimed(&batch));
         ++root_batches;
-        for (const Binding& binding : batch) {
+        for (size_t lane = 0; lane < batch.lanes; ++lane) {
           std::vector<Value> row;
           row.reserve(outputs.size());
           for (const Output& o : outputs) {
-            if (o.rel < 0 || o.col < 0 || binding[o.rel] == nullptr) {
+            int32_t r = o.rel >= 0 && o.col >= 0
+                            ? batch.RowAt(static_cast<size_t>(o.rel), lane)
+                            : kUnboundRow;
+            if (r < 0) {
               row.push_back(Value::MakeNull());
               continue;
             }
-            row.push_back((*binding[o.rel])[o.col]);
+            row.push_back((*o.rows)[r][o.col]);
           }
           for (const Value& v : row) e->stats_.bytes_out += v.ByteSize();
           e->stats_.rows_out += 1;
           result.rows.push_back(std::move(row));
         }
-      } while (!batch.empty());
+      } while (batch.lanes > 0);
     }
     double total_ms =
         ctx_.timed ? static_cast<double>(obs::NowNanos() - t0) / 1e6 : 0;
@@ -713,14 +877,17 @@ class BlockExecutor {
       }
     }
     if (e->options_.collect_profile) {
+      Operator* root_op = root.get();
       OpActual project;
       project.kind = opt::PhysicalPlan::Kind::kProject;
       project.label = OpLabel(ctx_, *plan);
       project.est_rows = plan->est_rows;
       project.est_cost = plan->est_cost;
       project.actual_rows = static_cast<int64_t>(result.rows.size());
+      project.rows_in = root_op->rows_produced();
       project.batches = root_batches;
-      project.seeks = root->seeks();
+      project.vectors = root_op->vectors();
+      project.seeks = root_op->seeks();
       project.ms = total_ms;
       project.depth = 0;
       e->profile_.ops.push_back(std::move(project));
@@ -732,7 +899,9 @@ class BlockExecutor {
         actual.est_rows = op->node()->est_rows;
         actual.est_cost = op->node()->est_cost;
         actual.actual_rows = op->rows_produced();
+        actual.rows_in = op->rows_examined();
         actual.batches = op->batches();
+        actual.vectors = op->vectors();
         actual.seeks = op->seeks();
         actual.ms = op->millis();
         actual.depth = depths[i];

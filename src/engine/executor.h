@@ -35,13 +35,22 @@ struct ExecStats {
 
 // Execution knobs.
 struct ExecOptions {
-  // Bindings pulled per operator Next() call. 1 degenerates to
+  // Lanes pulled per operator Next() call. 1 degenerates to
   // tuple-at-a-time; larger batches amortize per-call overhead.
   size_t batch_size = 1024;
+  // Lanes per column vector exchanged between operators; 0 means "same as
+  // batch_size" (the engine exchanges exactly one vector per Next()).
+  size_t vector_size = 0;
   // Record a per-operator estimated-vs-actual profile for each executed
   // block (see ExecProfile). Off by default: profiles accumulate until
   // ResetProfile(), which loops calling ExecuteBlock would otherwise grow.
   bool collect_profile = false;
+
+  // The lane count operators actually use.
+  size_t EffectiveVectorSize() const {
+    size_t n = vector_size != 0 ? vector_size : batch_size;
+    return n == 0 ? 1 : n;
+  }
 };
 
 // One plan operator's estimates next to what execution actually observed.
@@ -50,8 +59,10 @@ struct OpActual {
   std::string label;        // e.g. "SeqScan(show)"
   double est_rows = 0;      // optimizer cardinality estimate
   double est_cost = 0;      // optimizer cost estimate (inclusive of inputs)
-  int64_t actual_rows = 0;  // bindings this operator produced
+  int64_t actual_rows = 0;  // lanes this operator produced
+  int64_t rows_in = 0;      // lanes examined (scan candidates / probe input)
   int64_t batches = 0;      // Next() calls answered (incl. the empty EOS)
+  int64_t vectors = 0;      // column vectors produced across all batches
   double seeks = 0;         // inclusive index/scan probes (child ops incl.)
   double ms = 0;            // inclusive wall time (child pulls included)
   int depth = 0;            // position in the operator tree (pre-order)
@@ -59,6 +70,10 @@ struct OpActual {
   // Symmetric relative cardinality error: max(est/actual, actual/est),
   // with both sides floored at one row. 1.0 = perfect estimate.
   double QError() const;
+
+  // Output lanes per input lane (scans: fraction surviving the filter;
+  // joins: fan-out, may exceed 1). Zero input yields 0.
+  double Selectivity() const;
 };
 
 // Per-operator calibration data for the executed plan(s), in pre-order.
@@ -68,13 +83,18 @@ struct ExecProfile {
 };
 
 // Executes physical plans over an in-memory Database as a pipelined,
-// batch-at-a-time pull engine: operators return fixed-size batches of
-// bindings, only hash-join build sides materialize, and all column offsets
-// and constants are resolved once per operator open (never per row).
+// vector-at-a-time pull engine: operators exchange columnar batches (one
+// row-index column per base relation, no per-tuple allocation), filters and
+// residual join predicates run as compiled bytecode over the storage
+// layer's column vectors (see engine/expr_vm.h), only hash-join build sides
+// materialize, and all column shadows and constants are resolved once per
+// operator open (never per row). Rows materialize only at the final
+// projection boundary, so results stay bit-identical to ReferenceExecutor.
 //
 // One Executor serves one query stream on one thread; any number of
-// Executors may share a Database concurrently (the storage index registry
-// is thread-safe, everything else is read-only during execution).
+// Executors may share a Database concurrently (the storage index and
+// column-vector registries are thread-safe, everything else is read-only
+// during execution).
 class Executor {
  public:
   // `params` binds symbolic query constants (c1, c2, ...).

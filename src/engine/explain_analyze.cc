@@ -56,14 +56,15 @@ double SelfMillis(const ExecProfile& profile, size_t index) {
 
 std::string ExplainAnalyzeTable(const ExecProfile& profile) {
   TablePrinter table({"operator", "est_rows", "rows", "q-err", "batches",
-                      "seeks", "self_ms", "total_ms"});
+                      "vec", "sel", "seeks", "self_ms", "total_ms"});
   for (size_t i = 0; i < profile.ops.size(); ++i) {
     const OpActual& op = profile.ops[i];
     std::string label(2 * static_cast<size_t>(op.depth), ' ');
     label += op.label;
     table.AddRow({label, FormatDouble(op.est_rows, 0),
                   std::to_string(op.actual_rows), FormatDouble(op.QError(), 2),
-                  std::to_string(op.batches), FormatDouble(op.seeks, 0),
+                  std::to_string(op.batches), std::to_string(op.vectors),
+                  FormatDouble(op.Selectivity(), 3), FormatDouble(op.seeks, 0),
                   FormatDouble(SelfMillis(profile, i), 3),
                   FormatDouble(op.ms, 3)});
   }
@@ -85,6 +86,9 @@ std::string ExplainAnalyzeJson(const ExecProfile& profile) {
            ", \"rows\": " + std::to_string(op.actual_rows) +
            ", \"q_error\": " + JsonNumber(op.QError()) +
            ", \"batches\": " + std::to_string(op.batches) +
+           ", \"rows_in\": " + std::to_string(op.rows_in) +
+           ", \"vectors\": " + std::to_string(op.vectors) +
+           ", \"selectivity\": " + JsonNumber(op.Selectivity()) +
            ", \"seeks\": " + JsonNumber(op.seeks) +
            ", \"ms\": " + JsonNumber(op.ms) +
            ", \"self_ms\": " + JsonNumber(SelfMillis(profile, i)) + "}";

@@ -7,8 +7,9 @@
 // argument rests on. Two views of the same data:
 //
 //  - ExplainAnalyzeTable: an aligned, indented operator tree for humans —
-//    est_rows vs actual rows, q-error, batches pulled, index/scan seeks,
-//    self and cumulative wall time per operator;
+//    est_rows vs actual rows, q-error, batches pulled, column vectors
+//    processed, observed selectivity (output lanes per input lane),
+//    index/scan seeks, self and cumulative wall time per operator;
 //  - ExplainAnalyzeJson: the same rows as a JSON array, suitable as a
 //    structured block inside an obs::Report (Report::AddBlob) so metrics
 //    files carry per-query plan diagnostics next to the aggregates.
@@ -30,8 +31,8 @@ double SelfMillis(const ExecProfile& profile, size_t index);
 std::string ExplainAnalyzeTable(const ExecProfile& profile);
 
 // JSON array of operator objects ({"op", "label", "depth", "est_rows",
-// "est_cost", "rows", "q_error", "batches", "seeks", "ms", "self_ms"}),
-// valid JSON for any profile.
+// "est_cost", "rows", "q_error", "batches", "rows_in", "vectors",
+// "selectivity", "seeks", "ms", "self_ms"}), valid JSON for any profile.
 std::string ExplainAnalyzeJson(const ExecProfile& profile);
 
 }  // namespace legodb::engine

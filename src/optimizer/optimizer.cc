@@ -60,6 +60,7 @@ class BlockPlanner {
     root->est_rows = best.rows;
     root->est_cost = best.cost + best.rows * out_width * p_.write_per_byte +
                      best.rows * p_.cpu_per_tuple;
+    root->vectorized = true;
     return PlannedBlock{root, root->est_cost, root->est_rows};
   }
 
@@ -216,6 +217,7 @@ class BlockPlanner {
       plan->est_rows = out_rows;
       plan->est_cost = p_.seek_cost + base * width * p_.read_per_byte +
                        base * p_.cpu_per_tuple;
+      plan->vectorized = true;
       best = Entry{plan->est_cost, out_rows, width, plan};
     }
     // Index lookup on the most selective indexed filter column (hash
@@ -237,6 +239,7 @@ class BlockPlanner {
         plan->filters = filters;  // residuals re-checked cheaply
         plan->est_rows = out_rows;
         plan->est_cost = cost;
+        plan->vectorized = true;
         best = Entry{cost, out_rows, width, plan};
       }
     }
@@ -304,6 +307,7 @@ class BlockPlanner {
         }
         plan->est_rows = out_rows;
         plan->est_cost = cost;
+        plan->vectorized = true;
         best = Entry{cost, out_rows, width, plan};
       }
     }
@@ -350,6 +354,7 @@ class BlockPlanner {
           }
           plan->est_rows = out_rows;
           plan->est_cost = cost;
+          plan->vectorized = true;
           best = Entry{cost, out_rows, a.width + RowWidth(inner_rel), plan};
         }
       }

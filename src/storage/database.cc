@@ -14,12 +14,35 @@ HashIndex::HashIndex(const std::vector<Row>& rows, int column_index) {
   }
 }
 
+ColumnVector::ColumnVector(const std::vector<Row>& rows, int column_index) {
+  size_t col = static_cast<size_t>(column_index);
+  nulls_.resize(rows.size());
+  ints_.resize(rows.size());
+  vals_.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Value& v = rows[i][col];
+    vals_[i] = &v;
+    if (v.is_null()) {
+      nulls_[i] = 1;
+    } else if (v.is_int()) {
+      ints_[i] = v.as_int();
+    } else {
+      typed_int_ = false;
+    }
+  }
+  if (!typed_int_) {
+    ints_.clear();
+    ints_.shrink_to_fit();
+  }
+}
+
 void StoredTable::Insert(Row row) {
   LEGODB_CHECK(row.size() == meta_.columns.size(),
                "StoredTable::Insert: row arity mismatch");
   rows_.push_back(std::move(row));
   std::lock_guard<std::mutex> lock(index_mu_);
-  indexes_.clear();  // indexes are rebuilt on first use after loading
+  indexes_.clear();  // indexes/columns are rebuilt on first use after loading
+  columns_.clear();
 }
 
 void StoredTable::RemoveLastRows(size_t n) {
@@ -28,6 +51,7 @@ void StoredTable::RemoveLastRows(size_t n) {
   rows_.resize(rows_.size() - n);
   std::lock_guard<std::mutex> lock(index_mu_);
   indexes_.clear();
+  columns_.clear();
 }
 
 StatusOr<const HashIndex*> StoredTable::GetOrBuildIndex(
@@ -43,6 +67,24 @@ StatusOr<const HashIndex*> StoredTable::GetOrBuildIndex(
   auto built = std::make_unique<HashIndex>(rows_, idx);
   const HashIndex* result = built.get();
   indexes_.emplace(column, std::move(built));
+  return result;
+}
+
+StatusOr<const ColumnVector*> StoredTable::GetOrBuildColumn(
+    const std::string& column) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = columns_.find(column);
+  if (it != columns_.end()) {
+    return static_cast<const ColumnVector*>(it->second.get());
+  }
+  int idx = meta_.ColumnIndex(column);
+  if (idx < 0) {
+    return Status::Internal("no column '" + column + "' in table '" +
+                            meta_.name + "' to vectorize");
+  }
+  auto built = std::make_unique<ColumnVector>(rows_, idx);
+  const ColumnVector* result = built.get();
+  columns_.emplace(column, std::move(built));
   return result;
 }
 

@@ -38,31 +38,69 @@ class HashIndex {
   std::unordered_map<Value, std::vector<size_t>, ValueHash> map_;
 };
 
+// A columnar shadow of one StoredTable column: the per-row values of the
+// column laid out contiguously, so vectorized operators can run tight
+// per-column loops instead of chasing one heap-allocated Row per tuple.
+// Immutable once built (same publication contract as HashIndex).
+//
+// Three parallel views, all indexed by row position:
+//  - null_mask(): 1 byte per row, nonzero = SQL NULL;
+//  - ints(): the int64 payload, meaningful only when typed_int() — i.e.
+//    every non-null value in the column is an integer (catalog drift or
+//    mixed-kind data degrade gracefully to the generic view);
+//  - values(): a Value pointer per row (into the owning table's rows), the
+//    generic fallback for strings and mixed columns.
+class ColumnVector {
+ public:
+  ColumnVector(const std::vector<Row>& rows, int column_index);
+
+  size_t size() const { return vals_.size(); }
+  bool typed_int() const { return typed_int_; }
+
+  bool is_null(size_t i) const { return nulls_[i] != 0; }
+  const uint8_t* null_mask() const { return nulls_.data(); }
+  const int64_t* ints() const { return ints_.data(); }
+  const Value& value(size_t i) const { return *vals_[i]; }
+  const Value* const* values() const { return vals_.data(); }
+
+ private:
+  bool typed_int_ = true;
+  std::vector<uint8_t> nulls_;
+  std::vector<int64_t> ints_;
+  std::vector<const Value*> vals_;
+};
+
 // An in-memory heap table with hash indexes, laid out per the catalog's
 // column order. Loading (Insert/RemoveLastRows) must be single-threaded and
 // finish before query serving starts; after that, any number of threads may
-// read rows and fetch/build indexes concurrently — the index registry is
-// internally synchronized, and published HashIndex pointers stay valid until
-// the next mutation.
+// read rows and fetch/build indexes or column vectors concurrently — both
+// registries are internally synchronized, and published HashIndex /
+// ColumnVector pointers stay valid until the next mutation.
 class StoredTable {
  public:
   explicit StoredTable(rel::Table meta) : meta_(std::move(meta)) {}
   StoredTable(StoredTable&& other) noexcept
       : meta_(std::move(other.meta_)),
         rows_(std::move(other.rows_)),
-        indexes_(std::move(other.indexes_)) {}
+        indexes_(std::move(other.indexes_)),
+        columns_(std::move(other.columns_)) {}
 
   const rel::Table& meta() const { return meta_; }
   const std::vector<Row>& rows() const { return rows_; }
   size_t row_count() const { return rows_.size(); }
 
-  // Appends a row; must have one value per column. Invalidates indexes.
+  // Appends a row; must have one value per column. Invalidates indexes and
+  // column vectors.
   void Insert(Row row);
   void RemoveLastRows(size_t n);  // shredder rollback support
 
   // Returns the index on `column`, building it on first use (thread-safe).
   // Internal error when the column does not exist in this table.
   StatusOr<const HashIndex*> GetOrBuildIndex(const std::string& column);
+
+  // Returns the columnar shadow of `column`, building it on first use
+  // (thread-safe). Internal error when the column does not exist.
+  StatusOr<const ColumnVector*> GetOrBuildColumn(const std::string& column);
 
   // Legacy convenience used by the reconstructor and tests: builds (or
   // reuses) the index, aborting on unknown columns.
@@ -78,6 +116,7 @@ class StoredTable {
   std::vector<Row> rows_;
   mutable std::mutex index_mu_;
   std::map<std::string, std::unique_ptr<HashIndex>> indexes_;
+  std::map<std::string, std::unique_ptr<ColumnVector>> columns_;
 };
 
 // A relational database instance for one storage configuration.

@@ -153,7 +153,10 @@ std::vector<PreparedQuery>* ExecutorEquivalenceTest::prepared_ = nullptr;
 TEST_F(ExecutorEquivalenceTest, BitIdenticalAcrossBatchSizes) {
   auto db = FreshDatabase();
   std::vector<xq::ResultSet> expected = ReferenceResults(db.get());
-  for (size_t batch_size : {size_t{1}, size_t{64}, size_t{4096}}) {
+  // Powers of two plus a non-power-of-two vector size, so partial final
+  // vectors and mid-stream all-filtered vectors are both exercised.
+  for (size_t batch_size :
+       {size_t{1}, size_t{64}, size_t{1000}, size_t{1024}, size_t{4096}}) {
     engine::ExecOptions options;
     options.batch_size = batch_size;
     for (size_t i = 0; i < prepared_->size(); ++i) {

@@ -10,6 +10,11 @@
 #                                            # invariant/malformed-input suites
 #   tools/check.sh --bench-json              # small-scale bench run merged
 #                                            # into build/BENCH_results.json
+#   tools/check.sh --vectorized              # ASan/UBSan build of the
+#                                            # columnar executor + expr VM:
+#                                            # reference-equality gates, then
+#                                            # a bench baseline via
+#                                            # bench_report
 #
 # --tsan builds into build-tsan with -DLEGODB_SANITIZE=thread and runs the
 # tests exercising the parallel search (search_test, plus the transform and
@@ -46,6 +51,33 @@ if [[ "${1:-}" == "--release-checks" ]]; then
     storage_test mapping_test
   ctest --test-dir build-release --output-on-failure -j"$(nproc)" \
     -R 'robustness_test|search_test|common_test|relational_test|storage_test|mapping_test'
+  exit 0
+fi
+
+# --vectorized: the columnar-execution equality gates under
+# address+undefined sanitizers. Builds the vectorized executor, expression
+# VM, and their suites into build-vec, runs the reference-vs-vectorized
+# bit-identity tests (engine_equivalence_test across batch sizes and under
+# concurrency, engine_test for operator semantics, expr_vm_test for the
+# bytecode) plus micro_engine's always-on equality gate, and captures the
+# run's bench baseline into build-vec/BENCH_results.json via bench_report.
+# Any sanitizer report or result mismatch fails the script.
+if [[ "${1:-}" == "--vectorized" ]]; then
+  shift
+  cmake -B build-vec -S . -DLEGODB_SANITIZE=address,undefined "$@"
+  cmake --build build-vec -j"$(nproc)" --target \
+    engine_equivalence_test engine_test expr_vm_test micro_engine bench_report
+  ctest --test-dir build-vec --output-on-failure -j"$(nproc)" \
+    -R 'engine_equivalence_test|engine_test|expr_vm_test'
+  # micro_engine verifies reference-vs-vectorized equality on startup and
+  # exits nonzero on any mismatch; one quick benchmark keeps the obs report
+  # non-empty for the baseline merge.
+  ./build-vec/bench/micro_engine --benchmark_filter=BM_Fig10Batched/1024 \
+    --benchmark_min_time=0.05 --obs-out=build-vec/BENCH_micro_engine.json \
+    > /dev/null
+  ./build-vec/tools/bench_report merge build-vec/BENCH_results.json \
+    build-vec/BENCH_micro_engine.json
+  echo "vectorized equality gates passed; baseline in build-vec/BENCH_results.json"
   exit 0
 fi
 
