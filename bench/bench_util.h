@@ -15,6 +15,7 @@
 
 #include "core/cost.h"
 #include "core/transforms.h"
+#include "engine/executor.h"
 #include "imdb/imdb.h"
 #include "obs/obs.h"
 #include "pschema/pschema.h"
@@ -118,6 +119,21 @@ class ObsSession {
   obs::ScopedRegistry scope_;
   std::vector<std::pair<std::string, std::string>> meta_;
 };
+
+// Stamps the engine configuration an engine-driving bench ran with —
+// batch_size, vector_size, and the client thread count(s) — so
+// `bench_report` consumers can compare trajectories like-for-like. Every
+// driver that executes queries should call this instead of hand-stamping a
+// subset (micro_engine used to stamp vector_size while calibration stamped
+// nothing). `threads` is free-form so sweep drivers can record "1,4,8".
+inline void StampEngineMeta(ObsSession* session,
+                            const engine::ExecOptions& options,
+                            const std::string& threads = "1") {
+  session->SetMeta("batch_size", std::to_string(options.batch_size));
+  session->SetMeta("vector_size",
+                   std::to_string(options.EffectiveVectorSize()));
+  session->SetMeta("threads", threads);
+}
 
 // Raw IMDB schema (un-annotated).
 inline xs::Schema RawImdb() {

@@ -197,6 +197,11 @@ int main(int argc, char** argv) {
   if (batch_size == 0) batch_size = 1;
   if (scale < 1) scale = 1;
   if (reps < 1) reps = 1;
+  {
+    engine::ExecOptions options;
+    options.batch_size = batch_size;
+    bench::StampEngineMeta(&obs_session, options);
+  }
   std::printf(
       "Cost-model calibration: estimated vs. measured per operator and per\n"
       "query (batch_size=%zu, scale=%d, reps=%d).\n\n",

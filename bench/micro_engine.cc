@@ -226,10 +226,7 @@ int main(int argc, char** argv) {
     // Stamp the engine configuration the unparameterized benchmarks and the
     // correctness gate ran with (BM_Fig10Batched additionally sweeps its
     // batch-size argument); report consumers need it to compare runs.
-    engine::ExecOptions defaults;
-    obs_session->SetMeta("batch_size", std::to_string(defaults.batch_size));
-    obs_session->SetMeta("vector_size",
-                         std::to_string(defaults.EffectiveVectorSize()));
+    bench::StampEngineMeta(&*obs_session, engine::ExecOptions{});
   }
 
   VerifyFig10();

@@ -22,7 +22,7 @@
 // while the registry is empty: LEGODB_FAILPOINT compiles to one relaxed
 // atomic load.
 //
-// The site catalog lives in DESIGN.md §8 (Robustness).
+// The site catalog lives in DESIGN.md §10 (Robustness).
 
 #include <cstdint>
 #include <string>

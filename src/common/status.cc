@@ -17,6 +17,10 @@ const char* CodeName(Status::Code code) {
       return "Unsupported";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,8 @@ class Status {
     kParseError,
     kUnsupported,
     kInternal,
+    kUnavailable,        // transient overload: retry later (admission control)
+    kDeadlineExceeded,   // a per-request/per-run time budget ran out
   };
 
   Status() : code_(Code::kOk) {}
@@ -40,6 +42,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

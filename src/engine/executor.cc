@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "engine/expr_vm.h"
+#include "engine/prepared.h"
 #include "obs/obs.h"
 
 namespace legodb::engine {
@@ -113,9 +114,16 @@ struct ExecContext {
   ExprEnv env;  // env.tables doubles as the block's table list
   size_t vector_size = 1;
   bool timed = false;  // operators accumulate wall time per Next/Open
+  // Prepared templates for this plan, or nullptr (normal Open-time
+  // compilation). Only set when compiled against this executor's Database.
+  const PreparedPrograms* prepared = nullptr;
 
   size_t nrels() const { return block->rels.size(); }
   std::vector<StoredTable*>& tables() { return env.tables; }
+  const PreparedPrograms::NodePrograms* Prepared(
+      const opt::PhysicalPlan* node) const {
+    return prepared == nullptr ? nullptr : prepared->Find(node);
+  }
 };
 
 // A pipelined operator: Next() refills `out` with up to ctx->vector_size
@@ -193,11 +201,18 @@ class Operator {
 // selected ones to `out_col`. `cand` must hold the candidates as int32.
 class ScanFilter {
  public:
-  Status Compile(const ExecContext& ctx, int rel,
-                 const std::vector<opt::FilterPred>& filters) {
+  // Compiles the filters of `node`'s relation — or, when the plan was
+  // prepared, copies the node's template and binds this execution's
+  // parameters (no compilation, no catalog lookups).
+  Status Compile(const ExecContext& ctx, const opt::PhysicalPlan* node) {
+    rel_ = node->rel;
+    if (const PreparedPrograms::NodePrograms* p = ctx.Prepared(node)) {
+      program_ = p->filter;
+      return program_.BindParams(*ctx.params);
+    }
     LEGODB_ASSIGN_OR_RETURN(
-        program_, CompileFilters(ctx.env, rel, filters, *ctx.params));
-    rel_ = rel;
+        program_,
+        CompileFilters(ctx.env, node->rel, node->filters, *ctx.params));
     return Status::OK();
   }
 
@@ -229,7 +244,7 @@ class SeqScanOp : public Operator {
   using Operator::Operator;
 
   Status Open() override {
-    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_->rel, node_->filters));
+    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_));
     width_ = RowWidth(node_->rel);
     stats().seeks += 1;
     pos_ = 0;
@@ -273,7 +288,7 @@ class IndexLookupOp : public Operator {
   using Operator::Operator;
 
   Status Open() override {
-    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_->rel, node_->filters));
+    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_));
     const opt::FilterPred* driver = nullptr;
     for (const auto& f : node_->filters) {
       if (f.rel == node_->rel && f.column == node_->index_column &&
@@ -287,9 +302,14 @@ class IndexLookupOp : public Operator {
     }
     LEGODB_ASSIGN_OR_RETURN(Value key,
                             ResolveConstant(*ctx_->params, driver->value));
-    LEGODB_ASSIGN_OR_RETURN(
-        const HashIndex* index,
-        ctx_->tables()[node_->rel]->GetOrBuildIndex(node_->index_column));
+    const HashIndex* index = nullptr;
+    if (const PreparedPrograms::NodePrograms* prep = ctx_->Prepared(node_)) {
+      index = prep->index;
+    } else {
+      LEGODB_ASSIGN_OR_RETURN(
+          index,
+          ctx_->tables()[node_->rel]->GetOrBuildIndex(node_->index_column));
+    }
     hits_ = &index->Find(key);
     width_ = RowWidth(node_->rel);
     stats().seeks += 1;
@@ -402,14 +422,22 @@ class HashJoinOp : public Operator {
 
   Status Open() override {
     LEGODB_RETURN_IF_ERROR(probe_->OpenTimed());
-    LEGODB_ASSIGN_OR_RETURN(
-        build_key_, ResolveColumnVector(ctx_->env, node_->right_join_rel,
-                                        node_->right_join_column, "hash join"));
-    LEGODB_ASSIGN_OR_RETURN(
-        probe_key_, ResolveColumnVector(ctx_->env, node_->left_join_rel,
-                                        node_->left_join_column, "hash join"));
-    LEGODB_ASSIGN_OR_RETURN(residuals_,
-                            CompileResiduals(ctx_->env, node_->residual_joins));
+    const PreparedPrograms::NodePrograms* prep = ctx_->Prepared(node_);
+    if (prep != nullptr) {
+      build_key_ = prep->right_key;
+      probe_key_ = prep->left_key;
+      residuals_ = prep->residuals;
+    } else {
+      LEGODB_ASSIGN_OR_RETURN(
+          build_key_,
+          ResolveColumnVector(ctx_->env, node_->right_join_rel,
+                              node_->right_join_column, "hash join"));
+      LEGODB_ASSIGN_OR_RETURN(
+          probe_key_, ResolveColumnVector(ctx_->env, node_->left_join_rel,
+                                          node_->left_join_column, "hash join"));
+      LEGODB_ASSIGN_OR_RETURN(
+          residuals_, CompileResiduals(ctx_->env, node_->residual_joins));
+    }
     size_t nrels = ctx_->nrels();
     in_.Init(nrels);
     build_bound_.assign(nrels, 0);
@@ -420,9 +448,13 @@ class HashJoinOp : public Operator {
     const opt::PhysicalPlan* b = node_->right.get();
     if (!ctx_->timed && b && b->kind == opt::PhysicalPlan::Kind::kSeqScan &&
         b->rel == build_rel && b->filters.empty()) {
-      LEGODB_ASSIGN_OR_RETURN(
-          shared_index_,
-          ctx_->tables()[build_rel]->GetOrBuildIndex(node_->right_join_column));
+      if (prep != nullptr && prep->index != nullptr) {
+        shared_index_ = prep->index;
+      } else {
+        LEGODB_ASSIGN_OR_RETURN(
+            shared_index_, ctx_->tables()[build_rel]->GetOrBuildIndex(
+                               node_->right_join_column));
+      }
       build_bound_[build_rel] = 1;
       // Charge what the materializing path would have: the build-side scan
       // (one seek, every row read) plus the join's build-input tuples.
@@ -594,15 +626,22 @@ class IndexNLJoinOp : public Operator {
 
   Status Open() override {
     LEGODB_RETURN_IF_ERROR(outer_->OpenTimed());
-    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_->rel, node_->filters));
-    LEGODB_ASSIGN_OR_RETURN(
-        outer_key_, ResolveColumnVector(ctx_->env, node_->left_join_rel,
-                                        node_->left_join_column, "index join"));
-    LEGODB_ASSIGN_OR_RETURN(
-        index_,
-        ctx_->tables()[node_->rel]->GetOrBuildIndex(node_->index_column));
-    LEGODB_ASSIGN_OR_RETURN(residuals_,
-                            CompileResiduals(ctx_->env, node_->residual_joins));
+    LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_));
+    if (const PreparedPrograms::NodePrograms* prep = ctx_->Prepared(node_)) {
+      outer_key_ = prep->left_key;
+      index_ = prep->index;
+      residuals_ = prep->residuals;
+    } else {
+      LEGODB_ASSIGN_OR_RETURN(
+          outer_key_,
+          ResolveColumnVector(ctx_->env, node_->left_join_rel,
+                              node_->left_join_column, "index join"));
+      LEGODB_ASSIGN_OR_RETURN(
+          index_,
+          ctx_->tables()[node_->rel]->GetOrBuildIndex(node_->index_column));
+      LEGODB_ASSIGN_OR_RETURN(
+          residuals_, CompileResiduals(ctx_->env, node_->residual_joins));
+    }
     width_ = RowWidth(node_->rel);
     in_.Init(ctx_->nrels());
     gather_.resize(ctx_->nrels());
@@ -786,6 +825,12 @@ class BlockExecutor {
     ctx_.vector_size = e->options_.EffectiveVectorSize();
     ctx_.timed =
         e->options_.collect_profile || obs::Current() != nullptr;
+    // A prepared set compiled against a different database would hand out
+    // foreign column/index pointers; ignore it rather than trust it.
+    if (e->options_.prepared != nullptr &&
+        e->options_.prepared->database() == e->db_) {
+      ctx_.prepared = e->options_.prepared;
+    }
   }
 
   StatusOr<xq::ResultSet> Run(const opt::PhysicalPlanPtr& plan) {

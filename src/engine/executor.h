@@ -13,6 +13,8 @@
 
 namespace legodb::engine {
 
+class PreparedPrograms;
+
 // Work actually performed by an execution — the measured counterpart of the
 // optimizer's estimates, used to validate the cost model (the paper
 // validated against SQL Server; we validate against this engine).
@@ -45,6 +47,12 @@ struct ExecOptions {
   // block (see ExecProfile). Off by default: profiles accumulate until
   // ResetProfile(), which loops calling ExecuteBlock would otherwise grow.
   bool collect_profile = false;
+  // Prepared per-node bytecode templates and resolved column/index pointers
+  // for the plans about to execute (see engine/prepared.h). When set — and
+  // compiled against this executor's Database — operators skip Open-time
+  // predicate compilation and catalog resolution; otherwise it is ignored.
+  // Not owned; must outlive the execution.
+  const PreparedPrograms* prepared = nullptr;
 
   // The lane count operators actually use.
   size_t EffectiveVectorSize() const {

@@ -126,6 +126,12 @@ int ExprProgramBuilder::AddConst(Value v) {
   return static_cast<int>(program_.constants_.size()) - 1;
 }
 
+int ExprProgramBuilder::AddParam(std::string name) {
+  int slot = AddConst(Value::MakeNull());
+  program_.param_slots_.emplace_back(slot, std::move(name));
+  return slot;
+}
+
 ExprProgramBuilder& ExprProgramBuilder::LoadCol(int slot) {
   program_.instrs_.push_back(
       {ExprProgram::OpCode::kLoadCol, xq::CompareOp::kEq, slot});
@@ -216,6 +222,17 @@ StatusOr<ExprProgram> ExprProgramBuilder::Build() && {
     program_.max_rel_ = std::max(program_.max_rel_, c.rel);
   }
   return std::move(program_);
+}
+
+Status ExprProgram::BindParams(const std::map<std::string, Value>& params) {
+  for (const auto& [slot, name] : param_slots_) {
+    auto it = params.find(name);
+    if (it == params.end()) {
+      return Status::InvalidArgument("unbound query parameter '" + name + "'");
+    }
+    constants_[slot] = it->second;
+  }
+  return Status::OK();
 }
 
 // --- ExprProgram evaluation -----------------------------------------------
@@ -422,6 +439,29 @@ StatusOr<ExprProgram> CompileFilters(
       b.LoadCol(cslot).TestNotNull();
     } else {
       LEGODB_ASSIGN_OR_RETURN(Value want, ResolveConstant(params, f.value));
+      b.LoadCol(cslot).LoadConst(b.AddConst(std::move(want))).Cmp(f.op);
+    }
+    if (++terms > 1) b.And();
+  }
+  return std::move(b).Build();
+}
+
+StatusOr<ExprProgram> CompileFilterTemplate(
+    const ExprEnv& env, int rel, const std::vector<opt::FilterPred>& filters) {
+  ExprProgramBuilder b;
+  int terms = 0;
+  for (const opt::FilterPred& f : filters) {
+    if (f.rel != rel) continue;
+    LEGODB_ASSIGN_OR_RETURN(
+        const store::ColumnVector* col,
+        ResolveColumnVector(env, rel, f.column, "filter"));
+    int cslot = b.AddColumn(rel, col, env.QualifiedColumn(rel, f.column));
+    if (f.not_null) {
+      b.LoadCol(cslot).TestNotNull();
+    } else if (f.value.kind == xq::Constant::Kind::kSymbol) {
+      b.LoadCol(cslot).LoadConst(b.AddParam(f.value.symbol)).Cmp(f.op);
+    } else {
+      LEGODB_ASSIGN_OR_RETURN(Value want, ResolveConstant({}, f.value));
       b.LoadCol(cslot).LoadConst(b.AddConst(std::move(want))).Cmp(f.op);
     }
     if (++terms > 1) b.And();

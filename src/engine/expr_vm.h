@@ -103,6 +103,23 @@ class ExprProgram {
   // line (e.g. "load_col c.name | load_const 'alpha' | cmp =").
   std::string Disassemble() const;
 
+  // --- Parameter slots (prepared templates) -------------------------------
+  //
+  // A program compiled as a *template* (see CompileFilterTemplate) leaves
+  // symbolic query constants as named parameter slots instead of baking
+  // their values in. Copy the template, then BindParams on the copy with
+  // that execution's bindings — the copy is then evaluable with no
+  // recompilation. A template with unbound slots must not be Eval'd.
+
+  // Number of unbound parameter slots (0 for directly compiled programs).
+  size_t num_params() const { return param_slots_.size(); }
+
+  // Substitutes `params` into every parameter slot. InvalidArgument on a
+  // missing binding, with the row engine's "unbound query parameter"
+  // diagnostic. Binding does not consume the slots: a copied template can
+  // be re-bound, and the original template stays untouched.
+  Status BindParams(const std::map<std::string, Value>& params);
+
  private:
   friend class ExprProgramBuilder;
 
@@ -119,6 +136,8 @@ class ExprProgram {
   std::vector<Instr> instrs_;
   std::vector<ColumnSlot> columns_;
   std::vector<Value> constants_;
+  // (constant slot, parameter name) for slots awaiting BindParams.
+  std::vector<std::pair<int32_t, std::string>> param_slots_;
   int max_rel_ = -1;
 
   // Scratch reused across Eval calls (grown, never shrunk).
@@ -136,6 +155,9 @@ class ExprProgramBuilder {
   int AddColumn(int rel, const store::ColumnVector* column, std::string name);
   // Registers a constant; returns its slot for LoadConst.
   int AddConst(Value v);
+  // Registers a named parameter slot (a constant whose value arrives via
+  // BindParams); returns its slot for LoadConst.
+  int AddParam(std::string name);
 
   ExprProgramBuilder& LoadCol(int slot);
   ExprProgramBuilder& LoadConst(int slot);
@@ -180,6 +202,14 @@ StatusOr<const store::ColumnVector*> ResolveColumnVector(
 StatusOr<ExprProgram> CompileFilters(const ExprEnv& env, int rel,
                                      const std::vector<opt::FilterPred>& filters,
                                      const std::map<std::string, Value>& params);
+
+// Like CompileFilters, but compiles a reusable *template*: symbolic
+// constants become named parameter slots (literals still bake in), so one
+// compilation serves any number of executions — copy the template and
+// BindParams the copy with that request's bindings. The serving layer's
+// plan cache stores these alongside the physical plan.
+StatusOr<ExprProgram> CompileFilterTemplate(
+    const ExprEnv& env, int rel, const std::vector<opt::FilterPred>& filters);
 
 // Compiles residual join edges into one conjunctive program of column =
 // column equalities (LoadCol LoadCol Cmp=). Unbound lanes on either side

@@ -1,0 +1,84 @@
+#include "engine/prepared.h"
+
+namespace legodb::engine {
+
+Status PreparedPrograms::WalkPlan(const ExprEnv& env,
+                                  const opt::PhysicalPlanPtr& p) {
+  if (!p) return Status::Internal("null plan node");
+  NodePrograms np;
+  switch (p->kind) {
+    case opt::PhysicalPlan::Kind::kProject:
+      return WalkPlan(env, p->child);
+    case opt::PhysicalPlan::Kind::kSeqScan: {
+      LEGODB_ASSIGN_OR_RETURN(
+          np.filter, CompileFilterTemplate(env, p->rel, p->filters));
+      break;
+    }
+    case opt::PhysicalPlan::Kind::kIndexLookup: {
+      LEGODB_ASSIGN_OR_RETURN(
+          np.filter, CompileFilterTemplate(env, p->rel, p->filters));
+      LEGODB_ASSIGN_OR_RETURN(
+          np.index, env.tables[p->rel]->GetOrBuildIndex(p->index_column));
+      break;
+    }
+    case opt::PhysicalPlan::Kind::kHashJoin: {
+      LEGODB_ASSIGN_OR_RETURN(
+          np.left_key, ResolveColumnVector(env, p->left_join_rel,
+                                           p->left_join_column, "hash join"));
+      LEGODB_ASSIGN_OR_RETURN(
+          np.right_key, ResolveColumnVector(env, p->right_join_rel,
+                                            p->right_join_column, "hash join"));
+      LEGODB_ASSIGN_OR_RETURN(np.residuals,
+                              CompileResiduals(env, p->residual_joins));
+      // Mirror the executor's shared-index build-side bypass so the index
+      // exists before the first execution needs it.
+      const opt::PhysicalPlan* b = p->right.get();
+      if (b && b->kind == opt::PhysicalPlan::Kind::kSeqScan &&
+          b->rel == p->right_join_rel && b->filters.empty()) {
+        LEGODB_ASSIGN_OR_RETURN(
+            np.index, env.tables[p->right_join_rel]->GetOrBuildIndex(
+                          p->right_join_column));
+      }
+      by_node_.emplace(p.get(), std::move(np));
+      LEGODB_RETURN_IF_ERROR(WalkPlan(env, p->left));
+      return WalkPlan(env, p->right);
+    }
+    case opt::PhysicalPlan::Kind::kIndexNLJoin: {
+      LEGODB_ASSIGN_OR_RETURN(
+          np.filter, CompileFilterTemplate(env, p->rel, p->filters));
+      LEGODB_ASSIGN_OR_RETURN(
+          np.left_key, ResolveColumnVector(env, p->left_join_rel,
+                                           p->left_join_column, "index join"));
+      LEGODB_ASSIGN_OR_RETURN(
+          np.index, env.tables[p->rel]->GetOrBuildIndex(p->index_column));
+      LEGODB_ASSIGN_OR_RETURN(np.residuals,
+                              CompileResiduals(env, p->residual_joins));
+      by_node_.emplace(p.get(), std::move(np));
+      return WalkPlan(env, p->left);
+    }
+  }
+  by_node_.emplace(p.get(), std::move(np));
+  return Status::OK();
+}
+
+StatusOr<PreparedPrograms> PreparedPrograms::Compile(
+    store::Database* db, const opt::RelQuery& query,
+    const std::vector<opt::PhysicalPlanPtr>& block_plans) {
+  if (block_plans.size() != query.blocks.size()) {
+    return Status::InvalidArgument("plan count mismatch");
+  }
+  PreparedPrograms prepared;
+  prepared.db_ = db;
+  for (size_t i = 0; i < query.blocks.size(); ++i) {
+    ExprEnv env;
+    for (const auto& rel : query.blocks[i].rels) {
+      store::StoredTable* table = db->FindTable(rel.table);
+      if (!table) return Status::NotFound("table '" + rel.table + "'");
+      env.tables.push_back(table);
+    }
+    LEGODB_RETURN_IF_ERROR(prepared.WalkPlan(env, block_plans[i]));
+  }
+  return prepared;
+}
+
+}  // namespace legodb::engine

@@ -1,0 +1,86 @@
+#include "serving/plan_cache.h"
+
+#include "common/hash.h"
+#include "obs/obs.h"
+
+namespace legodb::serving {
+
+PlanCache::PlanCache(size_t shards, size_t capacity_per_shard)
+    : capacity_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(uint64_t fingerprint) {
+  // Mix before reducing: FNV fingerprints are well distributed, but a
+  // cheap finalize keeps the stripe choice independent of any structure
+  // in the low bits.
+  return *shards_[common::Mix64(fingerprint) % shards_.size()];
+}
+
+std::shared_ptr<const PreparedPlan> PlanCache::Find(
+    uint64_t fingerprint, std::string_view canonical_text) {
+  Shard& shard = ShardFor(fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fingerprint);
+    if (it != shard.index.end()) {
+      const std::shared_ptr<const PreparedPlan>& entry = *it->second;
+      if (entry->canonical_text == canonical_text) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        obs::Count("serving.plan_cache.hit");
+        return entry;
+      }
+      collisions_.fetch_add(1, std::memory_order_relaxed);
+      obs::Count("serving.plan_cache.collision");
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count("serving.plan_cache.miss");
+  return nullptr;
+}
+
+void PlanCache::Insert(std::shared_ptr<const PreparedPlan> plan) {
+  Shard& shard = ShardFor(plan->fingerprint);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(plan->fingerprint);
+    if (it != shard.index.end()) {
+      // Concurrent sessions that both missed compile the same text; last
+      // publication wins and the older entry drains via its shared_ptr.
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.lru.push_front(std::move(plan));
+    shard.index[shard.lru.front()->fingerprint] = shard.lru.begin();
+    while (shard.lru.size() > capacity_) {
+      shard.index.erase(shard.lru.back()->fingerprint);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    obs::Count("serving.plan_cache.eviction", evicted);
+  }
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.collisions = collisions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.entries += shard->lru.size();
+  }
+  return s;
+}
+
+}  // namespace legodb::serving

@@ -1,0 +1,107 @@
+#ifndef LEGODB_SERVING_PLAN_CACHE_H_
+#define LEGODB_SERVING_PLAN_CACHE_H_
+
+// Bounded, sharded LRU cache of prepared query plans, keyed by canonical
+// query fingerprint.
+//
+// Entries are immutable once inserted and handed out as
+// shared_ptr<const PreparedPlan>, so a hit can keep executing safely even
+// if the entry is evicted (or replaced) mid-flight by another session.
+// The key space is striped over N independently locked shards
+// (shard = Mix64(fingerprint) % N) so concurrent sessions rarely contend
+// on the same mutex; each shard holds at most `capacity` entries and
+// evicts its least-recently-used entry on overflow.
+//
+// A fingerprint match additionally compares the canonical text before
+// counting a hit: a 2^-64 fingerprint collision thus degrades to a miss
+// (and a `collisions` tick), never to executing the wrong plan.
+//
+// Hit/miss/eviction counters are kept locally (always, for tests and
+// reports) and mirrored into the ambient obs registry when one is
+// installed (serving.plan_cache.{hit,miss,eviction,collision}).
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/prepared.h"
+#include "optimizer/plan.h"
+
+namespace legodb::serving {
+
+// Everything needed to execute a cached query with fresh parameters: the
+// translated relational query, its optimized per-block physical plans, and
+// the pre-compiled expr-VM templates keyed to those plan nodes. The plans
+// member keeps the nodes referenced by `programs` alive.
+struct PreparedPlan {
+  std::string canonical_text;
+  uint64_t fingerprint = 0;
+  opt::RelQuery query;
+  std::vector<opt::PhysicalPlanPtr> plans;
+  engine::PreparedPrograms programs;
+};
+
+class PlanCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t collisions = 0;  // fingerprint matched, canonical text didn't
+    size_t entries = 0;      // current live entries across all shards
+
+    double HitRate() const {
+      int64_t total = hits + misses;
+      return total == 0 ? 0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+    }
+  };
+
+  // `shards` and `capacity_per_shard` are both clamped to >= 1.
+  PlanCache(size_t shards, size_t capacity_per_shard);
+
+  // The cached plan for this canonical query, or nullptr (counted as a
+  // miss). A hit moves the entry to the front of its shard's LRU list.
+  std::shared_ptr<const PreparedPlan> Find(uint64_t fingerprint,
+                                           std::string_view canonical_text);
+
+  // Publishes a prepared plan, evicting the shard's LRU entry at capacity.
+  // Re-inserting an existing fingerprint replaces the entry (last wins —
+  // harmless, both sides compiled the same text).
+  void Insert(std::shared_ptr<const PreparedPlan> plan);
+
+  Stats GetStats() const;
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t capacity_per_shard() const { return capacity_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used.
+    std::list<std::shared_ptr<const PreparedPlan>> lru;
+    std::map<uint64_t, std::list<std::shared_ptr<const PreparedPlan>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint);
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Lock-free counters so hits never serialize on a shared stats mutex.
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> collisions_{0};
+};
+
+}  // namespace legodb::serving
+
+#endif  // LEGODB_SERVING_PLAN_CACHE_H_

@@ -1,0 +1,127 @@
+#include "serving/server.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+#include "obs/obs.h"
+#include "optimizer/optimizer.h"
+#include "translate/translate.h"
+#include "xquery/parser.h"
+
+namespace legodb::serving {
+
+namespace {
+
+// Releases the admission slot on every exit path of Serve().
+class AdmissionGuard {
+ public:
+  explicit AdmissionGuard(AdmissionController* admission)
+      : admission_(admission) {}
+  ~AdmissionGuard() { admission_->Release(); }
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+
+ private:
+  AdmissionController* admission_;
+};
+
+double MillisSince(int64_t start_ns) {
+  return static_cast<double>(obs::NowNanos() - start_ns) / 1e6;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(store::Database* db, const map::Mapping* mapping,
+                         ServerOptions options)
+    : db_(db),
+      mapping_(mapping),
+      options_(options),
+      cache_(options.cache_shards, options.cache_capacity_per_shard),
+      admission_(options.max_inflight) {}
+
+Status QueryServer::Prewarm() {
+  LEGODB_RETURN_IF_ERROR(db_->PrewarmIndexes());
+  return db_->PrewarmColumns();
+}
+
+StatusOr<std::shared_ptr<const PreparedPlan>> QueryServer::PrepareMiss(
+    const CanonicalQuery& canonical) {
+  // The full front end — exactly what every request paid before the cache.
+  obs::ScopedTimer timer("serving.prepare_ms");
+  LEGODB_ASSIGN_OR_RETURN(xq::Query query, xq::ParseQuery(canonical.text));
+  auto plan = std::make_shared<PreparedPlan>();
+  plan->canonical_text = canonical.text;
+  plan->fingerprint = canonical.fingerprint;
+  LEGODB_ASSIGN_OR_RETURN(plan->query,
+                          xlat::TranslateQuery(query, *mapping_));
+  opt::Optimizer optimizer(mapping_->catalog());
+  LEGODB_ASSIGN_OR_RETURN(opt::PlannedQuery planned,
+                          optimizer.PlanQuery(plan->query));
+  plan->plans.reserve(planned.blocks.size());
+  for (const auto& block : planned.blocks) plan->plans.push_back(block.plan);
+  LEGODB_ASSIGN_OR_RETURN(
+      plan->programs,
+      engine::PreparedPrograms::Compile(db_, plan->query, plan->plans));
+  return std::shared_ptr<const PreparedPlan>(std::move(plan));
+}
+
+StatusOr<Response> QueryServer::Serve(const std::string& query_text,
+                                      const RequestOptions& request) {
+  obs::Count("serving.requests");
+  if (!admission_.TryAdmit()) {
+    obs::Count("serving.rejected.overload");
+    return Status::Unavailable(
+        "server at max in-flight requests (" +
+        std::to_string(admission_.max_inflight()) + ")");
+  }
+  AdmissionGuard guard(&admission_);
+  obs::ScopedTimer request_timer("serving.request_ms");
+  const int64_t t0 = obs::NowNanos();
+  const double budget_ms =
+      request.budget_ms < 0 ? options_.request_budget_ms : request.budget_ms;
+
+  // Front end: canonicalize, then either hit the cache or pay the full
+  // parse/translate/optimize/compile pipeline once for this shape.
+  CanonicalQuery canonical = Canonicalize(query_text);
+  LEGODB_FAILPOINT("serving.cache_lookup");
+  Response response;
+  std::shared_ptr<const PreparedPlan> plan =
+      cache_.Find(canonical.fingerprint, canonical.text);
+  if (plan != nullptr) {
+    response.cache_hit = true;
+  } else {
+    LEGODB_ASSIGN_OR_RETURN(plan, PrepareMiss(canonical));
+    cache_.Insert(plan);
+  }
+  response.front_end_ms = MillisSince(t0);
+  obs::Observe("serving.front_end_ms", response.front_end_ms);
+
+  // Deadline gate between front end and execution: a request that already
+  // burned its budget is rejected before it occupies the engine. (A
+  // request that finishes execution late still returns its result — the
+  // work is done either way.)
+  if (budget_ms > 0 && MillisSince(t0) > budget_ms) {
+    obs::Count("serving.rejected.deadline");
+    return Status::DeadlineExceeded(
+        "request exceeded its " + std::to_string(budget_ms) +
+        " ms budget before execution");
+  }
+
+  // Execute: the request's own parameters plus the canonicalized literal
+  // bindings (which take precedence — they *are* the query text).
+  std::map<std::string, Value> params = request.params;
+  for (const auto& [name, value] : canonical.bindings) {
+    params[name] = value;
+  }
+  engine::ExecOptions exec = options_.exec;
+  exec.prepared = &plan->programs;
+  engine::Executor executor(db_, std::move(params), exec);
+  const int64_t exec_start = obs::NowNanos();
+  LEGODB_ASSIGN_OR_RETURN(response.result,
+                          executor.ExecuteQuery(plan->query, plan->plans));
+  response.exec_ms = MillisSince(exec_start);
+  obs::Observe("serving.exec_ms", response.exec_ms);
+  return response;
+}
+
+}  // namespace legodb::serving

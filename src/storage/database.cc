@@ -151,6 +151,15 @@ Status Database::PrewarmIndexes() {
   return Status::OK();
 }
 
+Status Database::PrewarmColumns() {
+  for (auto& [name, table] : tables_) {
+    for (const auto& col : table.meta().columns) {
+      LEGODB_RETURN_IF_ERROR(table.GetOrBuildColumn(col.name).status());
+    }
+  }
+  return Status::OK();
+}
+
 size_t Database::TotalRows() const {
   size_t total = 0;
   for (const auto& [name, table] : tables_) total += table.row_count();

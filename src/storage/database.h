@@ -135,6 +135,12 @@ class Database {
   // Call after loading, before serving.
   Status PrewarmIndexes();
 
+  // Builds the columnar shadow of every column of every table up front —
+  // the column-vector counterpart of PrewarmIndexes(). Without this, the
+  // first post-startup queries build shadows lazily under the per-table
+  // registry mutex, serializing concurrent sessions behind one another.
+  Status PrewarmColumns();
+
   // Fresh unique id for a new row (shared across tables, like the paper's
   // element node ids).
   int64_t NextId() { return next_id_++; }

@@ -1,0 +1,406 @@
+// Unit and concurrency tests for the serving layer: lexical
+// canonicalization (literal -> parameter extraction, fingerprint sharing,
+// collision resistance), the sharded LRU plan cache (hits, eviction at
+// capacity, fingerprint-collision downgrade), admission control and
+// request budgets, the cache-path failpoint, and bit-identical results
+// cached vs. uncached under 8-thread concurrent serving (the test the
+// --tsan runner leans on).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "engine/executor.h"
+#include "mapping/mapping.h"
+#include "optimizer/optimizer.h"
+#include "pschema/pschema.h"
+#include "serving/canonicalize.h"
+#include "serving/plan_cache.h"
+#include "serving/server.h"
+#include "storage/shredder.h"
+#include "translate/translate.h"
+#include "xml/parser.h"
+#include "xquery/parser.h"
+#include "xschema/schema_parser.h"
+
+namespace legodb::serving {
+namespace {
+
+// --- Canonicalization ------------------------------------------------------
+
+TEST(Canonicalize, ComparisonLiteralsBecomeParameters) {
+  CanonicalQuery a = Canonicalize(
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = \"alpha\" "
+      "RETURN $v/name");
+  CanonicalQuery b = Canonicalize(
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = \"omega\" "
+      "RETURN $v/name");
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.bindings.size(), 1u);
+  ASSERT_EQ(b.bindings.size(), 1u);
+  EXPECT_EQ(a.bindings.begin()->second, Value::Str("alpha"));
+  EXPECT_EQ(b.bindings.begin()->second, Value::Str("omega"));
+}
+
+TEST(Canonicalize, NumberLiteralsAfterRangeOps) {
+  CanonicalQuery a = Canonicalize(
+      "FOR $v IN document(\"d\")/p/c WHERE $v/size > 10 RETURN $v/name");
+  CanonicalQuery b = Canonicalize(
+      "FOR $v IN document(\"d\")/p/c WHERE $v/size > 250 RETURN $v/name");
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.bindings.size(), 1u);
+  EXPECT_EQ(a.bindings.begin()->second, Value::Int(10));
+  EXPECT_EQ(b.bindings.begin()->second, Value::Int(250));
+}
+
+TEST(Canonicalize, DocumentNameStaysLiteral) {
+  // The document("...") string follows "(" — not a comparison position — so
+  // it must survive canonicalization verbatim and produce no binding.
+  CanonicalQuery c =
+      Canonicalize("FOR $v IN document(\"d\")/p/c RETURN $v/name");
+  EXPECT_NE(c.text.find("\"d\""), std::string::npos);
+  EXPECT_TRUE(c.bindings.empty());
+}
+
+TEST(Canonicalize, SymbolicParamsAreIdentity) {
+  CanonicalQuery c = Canonicalize(
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = c1 RETURN $v/name");
+  EXPECT_TRUE(c.bindings.empty());
+  EXPECT_NE(c.text.find("c1"), std::string::npos);
+}
+
+TEST(Canonicalize, FingerprintCollisionResistance) {
+  // 1000 structurally distinct parameterized queries must all land on
+  // distinct fingerprints (and literal variants of each must not add any).
+  std::set<uint64_t> fps;
+  size_t n = 0;
+  for (int v = 0; v < 250; ++v) {
+    for (const char* col : {"name", "size"}) {
+      for (const char* op : {"=", "<"}) {
+        std::string text = "FOR $v" + std::to_string(v) +
+                           " IN document(\"d\")/p/c WHERE $v" +
+                           std::to_string(v) + "/" + col + " " + op +
+                           " \"k\" RETURN $v" + std::to_string(v) + "/" + col;
+        fps.insert(Canonicalize(text).fingerprint);
+        ++n;
+        // A different literal must NOT mint a new fingerprint.
+        std::string variant = text;
+        variant.replace(variant.find("\"k\""), 3, "\"other\"");
+        fps.insert(Canonicalize(variant).fingerprint);
+      }
+    }
+  }
+  EXPECT_EQ(fps.size(), n);
+}
+
+// --- Plan cache ------------------------------------------------------------
+
+std::shared_ptr<const PreparedPlan> DummyPlan(const std::string& text) {
+  auto plan = std::make_shared<PreparedPlan>();
+  plan->canonical_text = text;
+  plan->fingerprint = common::HashString(text);
+  return plan;
+}
+
+TEST(PlanCache, HitMissAndLruEvictionAtCapacity) {
+  PlanCache cache(/*shards=*/1, /*capacity_per_shard=*/2);
+  auto a = DummyPlan("a"), b = DummyPlan("b"), c = DummyPlan("c");
+  EXPECT_EQ(cache.Find(a->fingerprint, "a"), nullptr);
+  cache.Insert(a);
+  cache.Insert(b);
+  EXPECT_NE(cache.Find(a->fingerprint, "a"), nullptr);  // a now MRU
+  cache.Insert(c);                                      // evicts b (LRU)
+  EXPECT_EQ(cache.Find(b->fingerprint, "b"), nullptr);
+  EXPECT_NE(cache.Find(a->fingerprint, "a"), nullptr);
+  EXPECT_NE(cache.Find(c->fingerprint, "c"), nullptr);
+
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 2);
+}
+
+TEST(PlanCache, FingerprintCollisionDegradesToMiss) {
+  PlanCache cache(4, 4);
+  auto a = DummyPlan("a");
+  cache.Insert(a);
+  // Same fingerprint, different canonical text: must not serve a's plan.
+  EXPECT_EQ(cache.Find(a->fingerprint, "not-a"), nullptr);
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.collisions, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+TEST(PlanCache, ReinsertReplacesWithoutGrowth) {
+  PlanCache cache(1, 4);
+  cache.Insert(DummyPlan("a"));
+  cache.Insert(DummyPlan("a"));
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+// --- Admission control -----------------------------------------------------
+
+TEST(AdmissionController, BoundsInflightRequests) {
+  AdmissionController ac(2);
+  EXPECT_TRUE(ac.TryAdmit());
+  EXPECT_TRUE(ac.TryAdmit());
+  EXPECT_FALSE(ac.TryAdmit());
+  EXPECT_EQ(ac.inflight(), 2u);
+  ac.Release();
+  EXPECT_TRUE(ac.TryAdmit());
+  ac.Release();
+  ac.Release();
+  EXPECT_EQ(ac.inflight(), 0u);
+}
+
+TEST(AdmissionController, ZeroMeansUnboundedButCounted) {
+  AdmissionController ac(0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ac.TryAdmit());
+  EXPECT_EQ(ac.inflight(), 100u);
+}
+
+// --- End-to-end serving ----------------------------------------------------
+
+// Fixture: Parent/Child tables shredded from a generated document, plus an
+// uncached reference path (fresh parse/translate/optimize/execute).
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = xs::ParseSchema(
+        "type P = p[ C* ] "
+        "type C = c[ name[ String ], size[ Integer ]? ]");
+    ASSERT_TRUE(schema.ok());
+    auto mapping = map::MapSchema(ps::Normalize(schema.value()));
+    ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+    mapping_ = std::make_unique<map::Mapping>(std::move(mapping).value());
+    db_ = std::make_unique<store::Database>(mapping_->catalog());
+    std::string text = "<p>";
+    for (int i = 0; i < 200; ++i) {
+      text += "<c><name>n" + std::to_string(i % 40) + "</name><size>" +
+              std::to_string(i) + "</size></c>";
+    }
+    text += "</p>";
+    auto doc = xml::ParseDocument(text);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(store::ShredDocument(doc.value(), *mapping_, db_.get()).ok());
+  }
+
+  std::unique_ptr<QueryServer> MakeServer(ServerOptions options = {}) {
+    auto server =
+        std::make_unique<QueryServer>(db_.get(), mapping_.get(), options);
+    EXPECT_TRUE(server->Prewarm().ok());
+    return server;
+  }
+
+  xq::ResultSet Uncached(const std::string& text,
+                         const std::map<std::string, Value>& params = {}) {
+    auto q = xq::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto rq = xlat::TranslateQuery(q.value(), *mapping_);
+    EXPECT_TRUE(rq.ok()) << rq.status().ToString();
+    opt::Optimizer optimizer(mapping_->catalog());
+    auto planned = optimizer.PlanQuery(rq.value());
+    EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+    std::vector<opt::PhysicalPlanPtr> plans;
+    for (const auto& b : planned->blocks) plans.push_back(b.plan);
+    engine::Executor exec(db_.get(), params);
+    auto result = exec.ExecuteQuery(rq.value(), plans);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::unique_ptr<map::Mapping> mapping_;
+  std::unique_ptr<store::Database> db_;
+};
+
+TEST_F(ServingTest, HitSkipsFrontEndAndMatchesUncached) {
+  auto server = MakeServer();
+  const std::string q =
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = \"n7\" RETURN $v/size";
+  xq::ResultSet expected = Uncached(q);
+  ASSERT_FALSE(expected.rows.empty());
+
+  auto miss = server->Serve(q);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_FALSE(miss->cache_hit);
+  EXPECT_TRUE(miss->result.rows == expected.rows);
+
+  auto hit = server->Serve(q);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_TRUE(hit->result.rows == expected.rows);
+
+  PlanCache::Stats stats = server->CacheStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST_F(ServingTest, LiteralVariantsShareOneCachedPlan) {
+  auto server = MakeServer();
+  for (const char* name : {"n1", "n2", "n3", "n17"}) {
+    std::string q = "FOR $v IN document(\"d\")/p/c WHERE $v/name = \"" +
+                    std::string(name) + "\" RETURN $v/size";
+    auto response = server->Serve(q);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->result.rows == Uncached(q).rows);
+  }
+  PlanCache::Stats stats = server->CacheStats();
+  EXPECT_EQ(stats.misses, 1);  // first literal compiled the shared entry
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(ServingTest, SymbolicParamsBindPerRequest) {
+  auto server = MakeServer();
+  const std::string q =
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = c1 RETURN $v/size";
+  for (const char* name : {"n5", "n9"}) {
+    RequestOptions request;
+    request.params = {{"c1", Value::Str(name)}};
+    auto response = server->Serve(q, request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->result.rows == Uncached(q, request.params).rows);
+    ASSERT_FALSE(response->result.rows.empty());
+  }
+  EXPECT_EQ(server->CacheStats().hits, 1);
+}
+
+TEST_F(ServingTest, UnboundParameterIsGracefullyRejected) {
+  auto server = MakeServer();
+  const std::string q =
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = c1 RETURN $v/size";
+  auto response = server->Serve(q);  // no c1 binding
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.status().message().find("unbound query parameter"),
+            std::string::npos)
+      << response.status().ToString();
+  // And the cached entry (the miss still compiled one) serves a bound
+  // request fine afterwards.
+  RequestOptions request;
+  request.params = {{"c1", Value::Str("n5")}};
+  EXPECT_TRUE(server->Serve(q, request).ok());
+}
+
+TEST_F(ServingTest, RequestBudgetDeadline) {
+  ServerOptions options;
+  options.request_budget_ms = 1e-9;  // expires before execution starts
+  auto server = MakeServer(options);
+  const std::string q =
+      "FOR $v IN document(\"d\")/p/c RETURN $v/name";
+  auto response = server->Serve(q);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kDeadlineExceeded);
+  // A per-request override of 0 disables the deadline.
+  RequestOptions request;
+  request.budget_ms = 0;
+  EXPECT_TRUE(server->Serve(q, request).ok());
+}
+
+TEST_F(ServingTest, CacheLookupFailpoint) {
+  auto server = MakeServer();
+  const std::string q =
+      "FOR $v IN document(\"d\")/p/c RETURN $v/name";
+  {
+    fp::ScopedFailpoints failpoints("serving.cache_lookup");
+    ASSERT_TRUE(failpoints.status().ok());
+    auto response = server->Serve(q);
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), Status::Code::kInternal);
+  }
+  EXPECT_TRUE(server->Serve(q).ok());  // disarmed: back to normal
+}
+
+TEST_F(ServingTest, OverloadedServerRejectsGracefully) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  auto server = MakeServer(options);
+  const std::string q =
+      "FOR $v IN document(\"d\")/p/c RETURN $v/name";
+  ASSERT_TRUE(server->Serve(q).ok());  // warm the cache serially
+  std::atomic<int> ok{0}, overloaded{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto response = server->Serve(q);
+        if (response.ok()) {
+          ++ok;
+        } else if (response.status().code() == Status::Code::kUnavailable) {
+          ++overloaded;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every request either succeeded or was shed with Unavailable — nothing
+  // crashed, hung, or failed with an unexpected code.
+  EXPECT_EQ(ok + overloaded, 400);
+  EXPECT_EQ(other, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(server->inflight(), 0u);
+}
+
+TEST_F(ServingTest, ConcurrentServingIsBitIdentical) {
+  auto server = MakeServer();
+  struct Case {
+    std::string text;
+    std::map<std::string, Value> params;
+  };
+  std::vector<Case> cases = {
+      {"FOR $v IN document(\"d\")/p/c WHERE $v/name = \"n3\" "
+       "RETURN $v/size",
+       {}},
+      {"FOR $v IN document(\"d\")/p/c WHERE $v/name = \"n21\" "
+       "RETURN $v/size",
+       {}},
+      {"FOR $v IN document(\"d\")/p/c WHERE $v/name = c1 RETURN $v/size",
+       {{"c1", Value::Str("n11")}}},
+      {"FOR $v IN document(\"d\")/p/c RETURN $v/name", {}},
+  };
+  std::vector<xq::ResultSet> expected;
+  for (const Case& c : cases) expected.push_back(Uncached(c.text, c.params));
+
+  std::atomic<int> mismatches{0}, failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        size_t k = static_cast<size_t>(t + i) % cases.size();
+        RequestOptions request;
+        request.params = cases[k].params;
+        auto response = server->Serve(cases[k].text, request);
+        if (!response.ok()) {
+          ++failures;
+        } else if (!(response->result.rows == expected[k].rows)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(mismatches, 0);
+  PlanCache::Stats stats = server->CacheStats();
+  EXPECT_EQ(stats.collisions, 0);
+  EXPECT_GT(stats.HitRate(), 0.9);
+}
+
+TEST_F(ServingTest, PrewarmBuildsColumnShadows) {
+  // PrewarmColumns is what QueryServer::Prewarm runs; standalone it must be
+  // idempotent and OK on a loaded database.
+  EXPECT_TRUE(db_->PrewarmColumns().ok());
+  EXPECT_TRUE(db_->PrewarmColumns().ok());
+}
+
+}  // namespace
+}  // namespace legodb::serving

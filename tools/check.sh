@@ -15,14 +15,20 @@
 #                                            # reference-equality gates, then
 #                                            # a bench baseline via
 #                                            # bench_report
+#   tools/check.sh --serving                 # ASan/UBSan build of the
+#                                            # serving layer: serving_test +
+#                                            # the concurrent serving bench's
+#                                            # bit-identity gate, report
+#                                            # merged + compared against the
+#                                            # committed BENCH_results.json
 #
 # --tsan builds into build-tsan with -DLEGODB_SANITIZE=thread and runs the
 # tests exercising the parallel search (search_test, plus the transform and
 # pipeline suites that feed it, and robustness_test for budget cancellation
 # and failpoints under threads) and the concurrent query serving path
 # (engine_equivalence_test races executors over one Database's index
-# registry) with halt_on_error=1, so any reported data race fails the
-# script.
+# registry; serving_test races 8 clients through the sharded plan cache)
+# with halt_on_error=1, so any reported data race fails the script.
 #
 # --release-checks builds into build-release with -DCMAKE_BUILD_TYPE=Release
 # and runs the suites covering invariant checks and malformed inputs. This
@@ -36,10 +42,10 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DLEGODB_SANITIZE=thread "$@"
   cmake --build build-tsan -j"$(nproc)" --target \
     search_test transforms_test pipeline_test robustness_test \
-    engine_equivalence_test
+    engine_equivalence_test serving_test
   export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
   ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R 'search_test|transforms_test|pipeline_test|robustness_test|engine_equivalence_test'
+    -R 'search_test|transforms_test|pipeline_test|robustness_test|engine_equivalence_test|serving_test'
   exit 0
 fi
 
@@ -78,6 +84,32 @@ if [[ "${1:-}" == "--vectorized" ]]; then
   ./build-vec/tools/bench_report merge build-vec/BENCH_results.json \
     build-vec/BENCH_micro_engine.json
   echo "vectorized equality gates passed; baseline in build-vec/BENCH_results.json"
+  exit 0
+fi
+
+# --serving: the concurrent serving layer under address+undefined
+# sanitizers. Builds the serving tests and bench into build-serving, runs
+# serving_test (canonicalization, plan cache, admission control, 8-thread
+# bit-identity), then the serving bench at smoke scale — its startup gate
+# re-proves cached results bit-identical to the uncached front end before
+# any timing. The bench's obs report (cache hit/miss counters, latency
+# histograms, per-thread-count gauges) is merged into
+# build-serving/BENCH_results.json and compared against the committed
+# baseline so serving-path regressions show up as a table, not silently.
+if [[ "${1:-}" == "--serving" ]]; then
+  shift
+  cmake -B build-serving -S . -DLEGODB_SANITIZE=address,undefined "$@"
+  cmake --build build-serving -j"$(nproc)" --target \
+    serving_test serving bench_report
+  ctest --test-dir build-serving --output-on-failure -j"$(nproc)" \
+    -R 'serving_test'
+  ./build-serving/bench/serving --threads=1,4,8 --requests=100 \
+    build-serving/BENCH_serving.json
+  ./build-serving/tools/bench_report merge build-serving/BENCH_results.json \
+    build-serving/BENCH_serving.json
+  ./build-serving/tools/bench_report compare BENCH_results.json \
+    build-serving/BENCH_results.json
+  echo "serving checks passed; report in build-serving/BENCH_results.json"
   exit 0
 fi
 

@@ -7,8 +7,9 @@
 //          [--start so|si] [--beam N] [--threads N] [--threshold F]
 //          [--budget-ms N] [--max-iterations N] [--max-candidates N]
 //          [--failpoints SPEC] [--explain] [--explain-search]
-//          [--explain-analyze] [--xml FILE] [--param NAME=VALUE]
-//          [--trace] [--metrics-out=FILE] [--trace-out=FILE]
+//          [--explain-analyze] [--serve N] [--xml FILE]
+//          [--param NAME=VALUE] [--trace] [--metrics-out=FILE]
+//          [--trace-out=FILE]
 //   legodb --demo imdb|auction       # run on the built-in applications
 //
 // Exit codes: 0 success, 2 configuration error (bad flags, unreadable or
@@ -25,7 +26,11 @@
 // the EXPLAIN ANALYZE tree (est vs actual rows, q-error, batches, seeks,
 // self/total time); the trees also land as structured JSON blocks in the
 // --metrics-out report. --param binds symbolic query constants for that
-// execution. --trace-out writes the whole run (search iterations and
+// execution. --serve N shreds the same document, stands up a
+// serving::QueryServer over it, and serves each workload query N times
+// through the prepared-plan cache, printing per-query latency and
+// cache-hit columns plus the cache's hit/miss/eviction totals.
+// --trace-out writes the whole run (search iterations and
 // executor open/next phases) as Chrome-trace JSON loadable by
 // chrome://tracing or Perfetto.
 #include <cstdio>
@@ -39,6 +44,7 @@
 
 #include "auction/auction.h"
 #include "common/failpoint.h"
+#include "serving/server.h"
 #include "core/explain.h"
 #include "core/legodb.h"
 #include "engine/executor.h"
@@ -88,13 +94,14 @@ int Usage() {
       "usage: legodb --schema FILE --stats FILE --query NAME:W:XQUERY...\n"
       "              [--update NAME:W:path/to/element]... [--start so|si]\n"
       "              [--beam N] [--threads N] [--threshold F] [--explain]\n"
-      "              [--explain-search] [--explain-analyze] [--xml FILE]\n"
-      "              [--param NAME=VALUE]... [--trace] [--metrics-out=FILE]\n"
-      "              [--trace-out=FILE] [--budget-ms N] [--max-iterations N]\n"
-      "              [--max-candidates N] [--failpoints SPEC]\n"
+      "              [--explain-search] [--explain-analyze] [--serve N]\n"
+      "              [--xml FILE] [--param NAME=VALUE]... [--trace]\n"
+      "              [--metrics-out=FILE] [--trace-out=FILE] [--budget-ms N]\n"
+      "              [--max-iterations N] [--max-candidates N]\n"
+      "              [--failpoints SPEC]\n"
       "       legodb --demo imdb|auction [--explain] [--explain-search]\n"
-      "              [--explain-analyze] [--trace] [--metrics-out=FILE]\n"
-      "              [--trace-out=FILE]\n");
+      "              [--explain-analyze] [--serve N] [--trace]\n"
+      "              [--metrics-out=FILE] [--trace-out=FILE]\n");
   return kExitConfigError;
 }
 
@@ -137,6 +144,10 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool explain_search = false;
   bool explain_analyze = false;
+  int serve_reps = 0;
+  // Raw query texts by workload name: serving re-enters through the lexical
+  // canonicalizer, so it needs the original text, not the parsed AST.
+  std::map<std::string, std::string> query_texts;
   bool trace = false;
   std::string metrics_out;
   std::string trace_out;
@@ -178,6 +189,7 @@ int main(int argc, char** argv) {
       } else {
         auto [name, weight, text] = spec.value();
         st = engine.AddQuery(name, text, weight);
+        if (st.ok()) query_texts[name] = text;
       }
     } else if (arg == "--update") {
       const char* v = next();
@@ -231,6 +243,11 @@ int main(int argc, char** argv) {
       explain_search = true;
     } else if (arg == "--explain-analyze") {
       explain_analyze = true;
+    } else if (arg == "--serve") {
+      const char* v = next();
+      if (!v) return Usage();
+      serve_reps = std::atoi(v);
+      if (serve_reps < 1) return Usage();
     } else if (arg == "--xml") {
       const char* v = next();
       if (!v) return Usage();
@@ -279,6 +296,7 @@ int main(int argc, char** argv) {
     }
     for (const char* q : {"Q1", "Q3", "Q8", "Q16"}) {
       (void)engine.AddQuery(q, imdb::QueryText(q), 0.25);
+      query_texts[q] = imdb::QueryText(q);
     }
     have_schema = true;
   } else if (demo == "auction") {
@@ -292,6 +310,11 @@ int main(int argc, char** argv) {
     engine.SetSchema(std::move(schema).value());
     engine.SetStats(collector.Finish());
     engine.SetWorkload(std::move(workload).value());
+    for (const auto& wq : engine.workload().queries) {
+      if (const char* text = auction::QueryText(wq.name)) {
+        query_texts[wq.name] = text;
+      }
+    }
     have_schema = true;
   } else if (!demo.empty()) {
     std::fprintf(stderr, "unknown demo: %s\n", demo.c_str());
@@ -343,7 +366,7 @@ int main(int argc, char** argv) {
   // run every workload query with per-operator profiling. Blobs collected
   // here land in the final metrics report.
   std::vector<std::pair<std::string, std::string>> explain_blobs;
-  if (explain_analyze) {
+  if (explain_analyze || serve_reps > 0) {
     StatusOr<xml::Document> doc = [&]() -> StatusOr<xml::Document> {
       if (!xml_path.empty()) {
         LEGODB_ASSIGN_OR_RETURN(std::string text, ReadFile(xml_path));
@@ -352,10 +375,11 @@ int main(int argc, char** argv) {
       if (demo == "imdb") return imdb::Generate(imdb::ImdbScale{});
       if (demo == "auction") return auction::Generate(auction::AuctionScale{});
       return Status::InvalidArgument(
-          "--explain-analyze needs a document: pass --xml FILE or use --demo");
+          "execution needs a document: pass --xml FILE or use --demo");
     }();
     if (!doc.ok()) {
-      std::fprintf(stderr, "error: --explain-analyze: %s\n",
+      std::fprintf(stderr, "error: %s: %s\n",
+                   explain_analyze ? "--explain-analyze" : "--serve",
                    doc.status().ToString().c_str());
       return kExitConfigError;
     }
@@ -372,42 +396,104 @@ int main(int argc, char** argv) {
     Status st = store::ShredDocument(doc.value(), result->mapping, &db);
     if (st.ok()) st = db.PrewarmIndexes();
     if (!st.ok()) {
-      std::fprintf(stderr, "error: --explain-analyze: %s\n",
+      std::fprintf(stderr, "error: shred/prewarm: %s\n",
                    st.ToString().c_str());
       return kExitRuntimeError;
     }
 
-    opt::Optimizer optimizer(result->mapping.catalog(),
-                             *engine.mutable_cost_params());
-    engine::ExecOptions exec_options;
-    exec_options.collect_profile = true;
-    engine::Executor exec(&db, params, exec_options);
-    for (const auto& wq : engine.workload().queries) {
-      auto rq = xlat::TranslateQuery(wq.query, result->mapping);
-      if (!rq.ok()) {
-        std::printf("=== EXPLAIN ANALYZE %s ===\n  (not executable: %s)\n\n",
-                    wq.name.c_str(), rq.status().ToString().c_str());
-        continue;
+    if (explain_analyze) {
+      opt::Optimizer optimizer(result->mapping.catalog(),
+                               *engine.mutable_cost_params());
+      engine::ExecOptions exec_options;
+      exec_options.collect_profile = true;
+      engine::Executor exec(&db, params, exec_options);
+      for (const auto& wq : engine.workload().queries) {
+        auto rq = xlat::TranslateQuery(wq.query, result->mapping);
+        if (!rq.ok()) {
+          std::printf("=== EXPLAIN ANALYZE %s ===\n  (not executable: %s)\n\n",
+                      wq.name.c_str(), rq.status().ToString().c_str());
+          continue;
+        }
+        auto planned = optimizer.PlanQuery(rq.value());
+        if (!planned.ok()) {
+          std::fprintf(stderr, "error: plan %s: %s\n", wq.name.c_str(),
+                       planned.status().ToString().c_str());
+          return kExitRuntimeError;
+        }
+        std::vector<opt::PhysicalPlanPtr> plans;
+        for (const auto& b : planned->blocks) plans.push_back(b.plan);
+        auto rows = exec.ExecuteQuery(rq.value(), plans);
+        if (!rows.ok()) {
+          std::fprintf(stderr, "error: execute %s: %s\n", wq.name.c_str(),
+                       rows.status().ToString().c_str());
+          return kExitRuntimeError;
+        }
+        std::printf("=== EXPLAIN ANALYZE %s (%zu rows) ===\n%s\n",
+                    wq.name.c_str(), rows->rows.size(),
+                    engine::ExplainAnalyzeTable(exec.profile()).c_str());
+        explain_blobs.emplace_back("explain_analyze." + wq.name,
+                                   engine::ExplainAnalyzeJson(exec.profile()));
       }
-      auto planned = optimizer.PlanQuery(rq.value());
-      if (!planned.ok()) {
-        std::fprintf(stderr, "error: plan %s: %s\n", wq.name.c_str(),
-                     planned.status().ToString().c_str());
+    }
+
+    // --serve N: every workload query through the prepared-plan cache. The
+    // first request per query misses (parse/translate/optimize/compile);
+    // the remaining N-1 bind parameters into the cached templates.
+    if (serve_reps > 0) {
+      serving::QueryServer server(&db, &result->mapping);
+      Status prewarm = server.Prewarm();
+      if (!prewarm.ok()) {
+        std::fprintf(stderr, "error: --serve prewarm: %s\n",
+                     prewarm.ToString().c_str());
         return kExitRuntimeError;
       }
-      std::vector<opt::PhysicalPlanPtr> plans;
-      for (const auto& b : planned->blocks) plans.push_back(b.plan);
-      auto rows = exec.ExecuteQuery(rq.value(), plans);
-      if (!rows.ok()) {
-        std::fprintf(stderr, "error: execute %s: %s\n", wq.name.c_str(),
-                     rows.status().ToString().c_str());
-        return kExitRuntimeError;
+      serving::RequestOptions request;
+      request.params = params;
+      std::printf("=== serving (%d requests per query) ===\n", serve_reps);
+      std::printf("  %-10s %8s %6s %12s %12s\n", "query", "rows", "hits",
+                  "first_ms", "cached_ms");
+      for (const auto& wq : engine.workload().queries) {
+        auto text_it = query_texts.find(wq.name);
+        if (text_it == query_texts.end()) {
+          std::printf("  %-10s (no source text; skipped)\n",
+                      wq.name.c_str());
+          continue;
+        }
+        size_t rows = 0;
+        int hits = 0;
+        double first_ms = 0, cached_ms = 0;
+        bool failed = false;
+        for (int r = 0; r < serve_reps && !failed; ++r) {
+          int64_t t0 = obs::NowNanos();
+          auto response = server.Serve(text_it->second, request);
+          double ms = static_cast<double>(obs::NowNanos() - t0) / 1e6;
+          if (!response.ok()) {
+            std::printf("  %-10s (failed: %s)\n", wq.name.c_str(),
+                        response.status().ToString().c_str());
+            failed = true;
+            break;
+          }
+          rows = response->result.rows.size();
+          if (response->cache_hit) {
+            ++hits;
+            cached_ms += ms;
+          } else {
+            first_ms = ms;
+          }
+        }
+        if (failed) continue;
+        std::printf("  %-10s %8zu %6d %12.3f %12.3f\n", wq.name.c_str(),
+                    rows, hits, first_ms,
+                    hits == 0 ? 0 : cached_ms / hits);
       }
-      std::printf("=== EXPLAIN ANALYZE %s (%zu rows) ===\n%s\n",
-                  wq.name.c_str(), rows->rows.size(),
-                  engine::ExplainAnalyzeTable(exec.profile()).c_str());
-      explain_blobs.emplace_back("explain_analyze." + wq.name,
-                                 engine::ExplainAnalyzeJson(exec.profile()));
+      serving::PlanCache::Stats stats = server.CacheStats();
+      std::printf(
+          "plan cache: %zu entries, %lld hits / %lld misses (rate %.3f), "
+          "%lld evictions, %lld collisions\n\n",
+          stats.entries, static_cast<long long>(stats.hits),
+          static_cast<long long>(stats.misses), stats.HitRate(),
+          static_cast<long long>(stats.evictions),
+          static_cast<long long>(stats.collisions));
     }
   }
 
