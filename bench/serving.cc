@@ -18,9 +18,14 @@
 // results are exported as gauges (serving.tN.{p50_ms,p99_ms,qps}), so a
 // JSON output path captures the trajectory in the usual BENCH format:
 //
+// Requests rejected with Status::Unavailable (possible once
+// --max-inflight bounds admission) are not dropped: they retry through
+// serving::ServeWithRetry with bounded exponential backoff, and the sweep
+// reports total retries in the obs meta (retries.tN) and gauges.
+//
 //   serving [--threads=1,4,8] [--requests=N] [--scale=N]
 //           [--batch-size=N] [--cache-shards=N] [--cache-capacity=N]
-//           [BENCH_out.json]
+//           [--max-inflight=N] [BENCH_out.json]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -33,6 +38,7 @@
 #include "engine/executor.h"
 #include "mapping/mapping.h"
 #include "optimizer/optimizer.h"
+#include "serving/retry.h"
 #include "serving/server.h"
 #include "storage/shredder.h"
 #include "translate/translate.h"
@@ -127,6 +133,7 @@ int main(int argc, char** argv) {
   size_t batch_size = 1024;
   size_t cache_shards = 8;
   size_t cache_capacity = 64;
+  size_t max_inflight = 0;  // 0 = unbounded (no Unavailable, no retries)
   std::string json_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -146,6 +153,8 @@ int main(int argc, char** argv) {
       cache_shards = static_cast<size_t>(std::atol(argv[i] + 15));
     } else if (std::strncmp(argv[i], "--cache-capacity=", 17) == 0) {
       cache_capacity = static_cast<size_t>(std::atol(argv[i] + 17));
+    } else if (std::strncmp(argv[i], "--max-inflight=", 15) == 0) {
+      max_inflight = static_cast<size_t>(std::atol(argv[i] + 15));
     } else {
       json_out = argv[i];
     }
@@ -195,6 +204,7 @@ int main(int argc, char** argv) {
     options.exec = exec;
     options.cache_shards = cache_shards;
     options.cache_capacity_per_shard = cache_capacity;
+    options.max_inflight = max_inflight;
     serving::QueryServer server(&db, &mapping, options);
     bench::Check(server.Prewarm(), "prewarm");
     serving::RequestOptions request;
@@ -207,6 +217,8 @@ int main(int argc, char** argv) {
         static_cast<size_t>(nthreads));
     std::vector<double> hit_front_end_ms(static_cast<size_t>(nthreads), 0);
     std::vector<int64_t> hit_counts(static_cast<size_t>(nthreads), 0);
+    std::vector<serving::RetryStats> retry_stats(
+        static_cast<size_t>(nthreads));
     int64_t sweep_start = obs::NowNanos();
     std::vector<std::thread> clients;
     for (int t = 0; t < nthreads; ++t) {
@@ -214,13 +226,19 @@ int main(int argc, char** argv) {
         // Share the session registry from every client thread so
         // histograms/counters aggregate across the whole fleet.
         obs::ScopedRegistry scoped(obs_session.registry());
+        // Per-thread deterministic jitter stream: shed requests back off
+        // instead of being dropped from the measurement.
+        serving::RetryPolicy retry;
+        retry.seed = static_cast<uint64_t>(t) + 1;
         std::vector<double>& lat = latencies[static_cast<size_t>(t)];
         lat.reserve(static_cast<size_t>(requests));
         for (int r = 0; r < requests; ++r) {
           const std::string& text =
               texts[static_cast<size_t>(t + r) % texts.size()];
           int64_t start = obs::NowNanos();
-          auto response = server.Serve(text, request);
+          auto response = serving::ServeWithRetry(
+              &server, text, request, retry,
+              &retry_stats[static_cast<size_t>(t)]);
           bench::Check(response.status(), "serve");
           lat.push_back(static_cast<double>(obs::NowNanos() - start) / 1e6);
           if (response->cache_hit) {
@@ -252,11 +270,22 @@ int main(int argc, char** argv) {
     }
     double fe_hit_us = hits == 0 ? 0 : fe_ms / static_cast<double>(hits) * 1e3;
 
+    int64_t total_retries = 0;
+    double total_backoff_ms = 0;
+    for (const serving::RetryStats& rs : retry_stats) {
+      total_retries += rs.retries;
+      total_backoff_ms += rs.backoff_ms;
+    }
+
     std::string prefix = "serving.t" + std::to_string(nthreads);
     obs::SetGauge(prefix + ".p50_ms", p50);
     obs::SetGauge(prefix + ".p99_ms", p99);
     obs::SetGauge(prefix + ".qps", qps);
     obs::SetGauge(prefix + ".hit_rate", stats.HitRate());
+    obs::SetGauge(prefix + ".retries", static_cast<double>(total_retries));
+    obs::SetGauge(prefix + ".retry_backoff_ms", total_backoff_ms);
+    obs_session.SetMeta("retries.t" + std::to_string(nthreads),
+                        std::to_string(total_retries));
     table.AddRow({std::to_string(nthreads), std::to_string(all.size()),
                   FormatDouble(p50, 3), FormatDouble(p99, 3),
                   FormatDouble(qps, 0), FormatDouble(stats.HitRate(), 3),

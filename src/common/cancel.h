@@ -1,0 +1,29 @@
+#ifndef LEGODB_COMMON_CANCEL_H_
+#define LEGODB_COMMON_CANCEL_H_
+
+#include <atomic>
+
+namespace legodb::common {
+
+// Cooperative cancellation flag shared between a producer of work and the
+// code executing it. Cancel() is sticky: once set, every later cancelled()
+// poll observes it. The flag carries no payload and no synchronization
+// beyond the atomic itself — cancellation is a hint the executing side
+// polls at its own granularity (per claimed index in core::ParallelFor,
+// per exchanged vector in engine::Executor), so "the work finished anyway"
+// is always a legal outcome. Cheap enough to poll in per-vector loops: one
+// relaxed atomic load.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace legodb::common
+
+#endif  // LEGODB_COMMON_CANCEL_H_

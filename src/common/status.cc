@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "Unavailable";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ class Status {
     kInternal,
     kUnavailable,        // transient overload: retry later (admission control)
     kDeadlineExceeded,   // a per-request/per-run time budget ran out
+    kCancelled,          // the caller cancelled the request cooperatively
   };
 
   Status() : code_(Code::kOk) {}
@@ -48,6 +49,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,9 +1,10 @@
 #ifndef LEGODB_CORE_PARALLEL_H_
 #define LEGODB_CORE_PARALLEL_H_
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
+
+#include "common/cancel.h"
 
 namespace legodb::core {
 
@@ -12,19 +13,13 @@ namespace legodb::core {
 int ResolveThreads(int requested);
 
 // Cooperative cancellation flag shared between a ParallelFor caller and its
-// workers. Cancel() stops workers from *claiming* further indices; the
-// task currently inside fn runs to completion (fn may also poll
-// cancelled() itself to stop early). Cheap enough to poll per index.
-class CancelToken {
- public:
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<bool> cancelled_{false};
-};
+// workers (and, since the serving layer grew request cancellation, between
+// a request issuer and the executor). Cancel() stops workers from
+// *claiming* further indices; the task currently inside fn runs to
+// completion (fn may also poll cancelled() itself to stop early). The
+// shared definition lives in common/cancel.h so the engine can poll the
+// same token type without depending on the search orchestration layer.
+using CancelToken = ::legodb::common::CancelToken;
 
 // Runs fn(0) ... fn(n-1), distributing indices over at most `threads`
 // workers (atomic work-stealing counter). With threads <= 1 or n <= 1 the

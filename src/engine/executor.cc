@@ -117,6 +117,23 @@ struct ExecContext {
   // Prepared templates for this plan, or nullptr (normal Open-time
   // compilation). Only set when compiled against this executor's Database.
   const PreparedPrograms* prepared = nullptr;
+  // Cooperative interruption (ExecOptions::deadline_ns / ::cancel),
+  // polled once per vector. `interruptible` caches "either is set" so the
+  // common uninterruptible execution pays one branch per vector.
+  int64_t deadline_ns = 0;
+  const common::CancelToken* cancel = nullptr;
+  bool interruptible = false;
+
+  Status CheckInterrupt() const {
+    if (!interruptible) return Status::OK();
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::Cancelled("request cancelled during execution");
+    }
+    if (deadline_ns != 0 && obs::NowNanos() > deadline_ns) {
+      return Status::DeadlineExceeded("deadline exceeded during execution");
+    }
+    return Status::OK();
+  }
 
   size_t nrels() const { return block->rels.size(); }
   std::vector<StoredTable*>& tables() { return env.tables; }
@@ -257,7 +274,10 @@ class SeqScanOp : public Operator {
     std::vector<int32_t>& col = out->rels[node_->rel];
     // An empty batch signals end of stream, so keep scanning candidate
     // vectors until at least one row survives or the table is exhausted.
+    // A selective filter can reject every candidate vector, so this loop —
+    // not just the root pull loop — must poll for deadline/cancellation.
     while (col.empty() && pos_ < total) {
+      LEGODB_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       size_t take = std::min(ctx_->vector_size, total - pos_);
       if (filter_.empty()) {
         col.resize(take);
@@ -321,8 +341,10 @@ class IndexLookupOp : public Operator {
     out->Clear();
     std::vector<int32_t>& col = out->rels[node_->rel];
     // As in SeqScan: empty output means EOS, so drain candidate vectors
-    // until a row survives the residual filter.
+    // until a row survives the residual filter (polling for interruption,
+    // as in SeqScan).
     while (col.empty() && pos_ < hits_->size()) {
+      LEGODB_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       size_t take = std::min(ctx_->vector_size, hits_->size() - pos_);
       cand_.resize(take);
       for (size_t i = 0; i < take; ++i) {
@@ -831,6 +853,9 @@ class BlockExecutor {
         e->options_.prepared->database() == e->db_) {
       ctx_.prepared = e->options_.prepared;
     }
+    ctx_.deadline_ns = e->options_.deadline_ns;
+    ctx_.cancel = e->options_.cancel;
+    ctx_.interruptible = ctx_.deadline_ns != 0 || ctx_.cancel != nullptr;
   }
 
   StatusOr<xq::ResultSet> Run(const opt::PhysicalPlanPtr& plan) {
@@ -889,6 +914,7 @@ class BlockExecutor {
       ColumnBatch batch;
       batch.Init(ctx_.nrels());
       do {
+        LEGODB_RETURN_IF_ERROR(ctx_.CheckInterrupt());
         LEGODB_RETURN_IF_ERROR(root->NextTimed(&batch));
         ++root_batches;
         for (size_t lane = 0; lane < batch.lanes; ++lane) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "optimizer/plan.h"
 #include "storage/database.h"
@@ -53,6 +54,17 @@ struct ExecOptions {
   // predicate compilation and catalog resolution; otherwise it is ignored.
   // Not owned; must outlive the execution.
   const PreparedPrograms* prepared = nullptr;
+  // Absolute obs::NowNanos() deadline (0 = none). Checked once per
+  // exchanged vector — including inside the scan operators' candidate
+  // loops, where a selective filter can burn through an entire table
+  // without returning — so Status::DeadlineExceeded can fire *during*
+  // execution, not only before it starts.
+  int64_t deadline_ns = 0;
+  // Cooperative cancellation, polled at the same per-vector granularity
+  // (one relaxed atomic load). When cancelled, execution stops at the next
+  // vector boundary with Status::Cancelled. Not owned; must outlive the
+  // execution.
+  const common::CancelToken* cancel = nullptr;
 
   // The lane count operators actually use.
   size_t EffectiveVectorSize() const {

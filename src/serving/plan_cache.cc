@@ -22,7 +22,8 @@ PlanCache::Shard& PlanCache::ShardFor(uint64_t fingerprint) {
 }
 
 std::shared_ptr<const PreparedPlan> PlanCache::Find(
-    uint64_t fingerprint, std::string_view canonical_text) {
+    uint64_t fingerprint, std::string_view canonical_text,
+    uint64_t generation) {
   Shard& shard = ShardFor(fingerprint);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -30,13 +31,23 @@ std::shared_ptr<const PreparedPlan> PlanCache::Find(
     if (it != shard.index.end()) {
       const std::shared_ptr<const PreparedPlan>& entry = *it->second;
       if (entry->canonical_text == canonical_text) {
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        obs::Count("serving.plan_cache.hit");
-        return entry;
+        if (entry->generation == generation) {
+          shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          obs::Count("serving.plan_cache.hit");
+          return entry;
+        }
+        // Compiled against a superseded database: its resolved column and
+        // index pointers are wrong for the caller's pinned version. Drop
+        // it — generations only move forward — and recompile as a miss.
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        stale_.fetch_add(1, std::memory_order_relaxed);
+        obs::Count("serving.plan_cache.stale");
+      } else {
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+        obs::Count("serving.plan_cache.collision");
       }
-      collisions_.fetch_add(1, std::memory_order_relaxed);
-      obs::Count("serving.plan_cache.collision");
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -76,6 +87,7 @@ PlanCache::Stats PlanCache::GetStats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.collisions = collisions_.load(std::memory_order_relaxed);
+  s.stale = stale_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     s.entries += shard->lru.size();

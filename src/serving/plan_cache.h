@@ -16,9 +16,18 @@
 // counting a hit: a 2^-64 fingerprint collision thus degrades to a miss
 // (and a `collisions` tick), never to executing the wrong plan.
 //
+// Entries are also tagged with the database generation they were compiled
+// against (see storage/db_registry.h). A lookup passes the generation of
+// the version the request pinned; an entry from any other generation is
+// *stale* — its compiled programs hold column/index pointers into a
+// superseded Database — so the hit degrades to a miss (and a `stale`
+// tick), the entry is dropped, and the caller recompiles against the
+// pinned version. Generations are monotonic, so a stale entry can never
+// become valid again.
+//
 // Hit/miss/eviction counters are kept locally (always, for tests and
 // reports) and mirrored into the ambient obs registry when one is
-// installed (serving.plan_cache.{hit,miss,eviction,collision}).
+// installed (serving.plan_cache.{hit,miss,eviction,collision,stale}).
 
 #include <atomic>
 #include <cstdint>
@@ -42,6 +51,9 @@ namespace legodb::serving {
 struct PreparedPlan {
   std::string canonical_text;
   uint64_t fingerprint = 0;
+  // Database generation this plan was compiled against; a lookup from any
+  // other generation treats the entry as stale (miss + recompile).
+  uint64_t generation = 0;
   opt::RelQuery query;
   std::vector<opt::PhysicalPlanPtr> plans;
   engine::PreparedPrograms programs;
@@ -54,6 +66,7 @@ class PlanCache {
     int64_t misses = 0;
     int64_t evictions = 0;
     int64_t collisions = 0;  // fingerprint matched, canonical text didn't
+    int64_t stale = 0;       // entry from a superseded database generation
     size_t entries = 0;      // current live entries across all shards
 
     double HitRate() const {
@@ -66,10 +79,14 @@ class PlanCache {
   // `shards` and `capacity_per_shard` are both clamped to >= 1.
   PlanCache(size_t shards, size_t capacity_per_shard);
 
-  // The cached plan for this canonical query, or nullptr (counted as a
-  // miss). A hit moves the entry to the front of its shard's LRU list.
+  // The cached plan for this canonical query compiled against database
+  // `generation`, or nullptr (counted as a miss). A hit moves the entry to
+  // the front of its shard's LRU list; an entry whose generation differs
+  // is evicted and counted as `stale` (in-flight executions against the
+  // old version keep their shared_ptr and finish safely).
   std::shared_ptr<const PreparedPlan> Find(uint64_t fingerprint,
-                                           std::string_view canonical_text);
+                                           std::string_view canonical_text,
+                                           uint64_t generation);
 
   // Publishes a prepared plan, evicting the shard's LRU entry at capacity.
   // Re-inserting an existing fingerprint replaces the entry (last wins —
@@ -100,6 +117,7 @@ class PlanCache {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> collisions_{0};
+  std::atomic<int64_t> stale_{0};
 };
 
 }  // namespace legodb::serving

@@ -1,0 +1,54 @@
+#include "serving/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/hash.h"
+#include "obs/obs.h"
+
+namespace legodb::serving {
+
+double BackoffMs(const RetryPolicy& policy, int attempt) {
+  double base = policy.initial_backoff_ms;
+  for (int i = 0; i < attempt; ++i) base *= policy.backoff_multiplier;
+  base = std::min(base, policy.max_backoff_ms);
+  // Jitter factor in [0.5, 1.0): deterministic per (seed, attempt), so a
+  // fixed seed replays the same schedule while distinct seeds decorrelate.
+  uint64_t h = common::Mix64(policy.seed ^
+                             (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+  double unit = static_cast<double>(h >> 11) / 9007199254740992.0;  // 2^53
+  return base * (0.5 + 0.5 * unit);
+}
+
+StatusOr<Response> ServeWithRetry(QueryServer* server,
+                                  const std::string& query_text,
+                                  const RequestOptions& request,
+                                  const RetryPolicy& policy,
+                                  RetryStats* stats) {
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    StatusOr<Response> response = server->Serve(query_text, request);
+    if (stats != nullptr) ++stats->attempts;
+    if (response.ok() ||
+        response.status().code() != Status::Code::kUnavailable ||
+        attempt + 1 >= max_attempts) {
+      if (!response.ok() &&
+          response.status().code() == Status::Code::kUnavailable) {
+        obs::Count("serving.retry.exhausted");
+      }
+      return response;
+    }
+    double backoff = BackoffMs(policy, attempt);
+    obs::Count("serving.retry.attempt");
+    obs::Observe("serving.retry.backoff_ms", backoff);
+    if (stats != nullptr) {
+      ++stats->retries;
+      stats->backoff_ms += backoff;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff));
+  }
+}
+
+}  // namespace legodb::serving

@@ -31,37 +31,48 @@ double MillisSince(int64_t start_ns) {
 
 }  // namespace
 
+QueryServer::QueryServer(store::DbRegistry* registry, ServerOptions options)
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache_shards, options.cache_capacity_per_shard),
+      admission_(options.max_inflight) {}
+
 QueryServer::QueryServer(store::Database* db, const map::Mapping* mapping,
                          ServerOptions options)
-    : db_(db),
-      mapping_(mapping),
+    : owned_registry_(std::make_unique<store::DbRegistry>(
+          std::shared_ptr<const map::Mapping>(mapping,
+                                              [](const map::Mapping*) {}),
+          std::shared_ptr<store::Database>(db, [](store::Database*) {}))),
+      registry_(owned_registry_.get()),
       options_(options),
       cache_(options.cache_shards, options.cache_capacity_per_shard),
       admission_(options.max_inflight) {}
 
 Status QueryServer::Prewarm() {
-  LEGODB_RETURN_IF_ERROR(db_->PrewarmIndexes());
-  return db_->PrewarmColumns();
+  store::DbVersionPtr version = registry_->Current();
+  LEGODB_RETURN_IF_ERROR(version->db->PrewarmIndexes());
+  return version->db->PrewarmColumns();
 }
 
 StatusOr<std::shared_ptr<const PreparedPlan>> QueryServer::PrepareMiss(
-    const CanonicalQuery& canonical) {
+    const CanonicalQuery& canonical, const store::DbVersion& version) {
   // The full front end — exactly what every request paid before the cache.
   obs::ScopedTimer timer("serving.prepare_ms");
   LEGODB_ASSIGN_OR_RETURN(xq::Query query, xq::ParseQuery(canonical.text));
   auto plan = std::make_shared<PreparedPlan>();
   plan->canonical_text = canonical.text;
   plan->fingerprint = canonical.fingerprint;
+  plan->generation = version.generation;
   LEGODB_ASSIGN_OR_RETURN(plan->query,
-                          xlat::TranslateQuery(query, *mapping_));
-  opt::Optimizer optimizer(mapping_->catalog());
+                          xlat::TranslateQuery(query, *version.mapping));
+  opt::Optimizer optimizer(version.mapping->catalog());
   LEGODB_ASSIGN_OR_RETURN(opt::PlannedQuery planned,
                           optimizer.PlanQuery(plan->query));
   plan->plans.reserve(planned.blocks.size());
   for (const auto& block : planned.blocks) plan->plans.push_back(block.plan);
-  LEGODB_ASSIGN_OR_RETURN(
-      plan->programs,
-      engine::PreparedPrograms::Compile(db_, plan->query, plan->plans));
+  LEGODB_ASSIGN_OR_RETURN(plan->programs,
+                          engine::PreparedPrograms::Compile(
+                              version.db.get(), plan->query, plan->plans));
   return std::shared_ptr<const PreparedPlan>(std::move(plan));
 }
 
@@ -80,26 +91,36 @@ StatusOr<Response> QueryServer::Serve(const std::string& query_text,
   const double budget_ms =
       request.budget_ms < 0 ? options_.request_budget_ms : request.budget_ms;
 
+  // Pin one database version for the whole request: front end, cache key,
+  // compilation, and execution all see the same (mapping, db, generation)
+  // snapshot even if a migration publishes mid-request. Releasing the pin
+  // (end of Serve) is what lets a superseded version drain.
+  store::DbVersionPtr version = registry_->Current();
+
   // Front end: canonicalize, then either hit the cache or pay the full
   // parse/translate/optimize/compile pipeline once for this shape.
   CanonicalQuery canonical = Canonicalize(query_text);
   LEGODB_FAILPOINT("serving.cache_lookup");
   Response response;
+  response.generation = version->generation;
   std::shared_ptr<const PreparedPlan> plan =
-      cache_.Find(canonical.fingerprint, canonical.text);
+      cache_.Find(canonical.fingerprint, canonical.text, version->generation);
   if (plan != nullptr) {
     response.cache_hit = true;
   } else {
-    LEGODB_ASSIGN_OR_RETURN(plan, PrepareMiss(canonical));
+    LEGODB_ASSIGN_OR_RETURN(plan, PrepareMiss(canonical, *version));
     cache_.Insert(plan);
   }
   response.front_end_ms = MillisSince(t0);
   obs::Observe("serving.front_end_ms", response.front_end_ms);
 
-  // Deadline gate between front end and execution: a request that already
-  // burned its budget is rejected before it occupies the engine. (A
-  // request that finishes execution late still returns its result — the
-  // work is done either way.)
+  // Cancellation / deadline gate between front end and execution: a
+  // request that was cancelled or already burned its budget is rejected
+  // before it occupies the engine.
+  if (request.cancel != nullptr && request.cancel->cancelled()) {
+    obs::Count("serving.rejected.cancelled");
+    return Status::Cancelled("request cancelled before execution");
+  }
   if (budget_ms > 0 && MillisSince(t0) > budget_ms) {
     obs::Count("serving.rejected.deadline");
     return Status::DeadlineExceeded(
@@ -108,14 +129,20 @@ StatusOr<Response> QueryServer::Serve(const std::string& query_text,
   }
 
   // Execute: the request's own parameters plus the canonicalized literal
-  // bindings (which take precedence — they *are* the query text).
+  // bindings (which take precedence — they *are* the query text). The
+  // budget becomes an absolute engine deadline, so DeadlineExceeded can
+  // also fire *during* execution, one vector boundary after it expires.
   std::map<std::string, Value> params = request.params;
   for (const auto& [name, value] : canonical.bindings) {
     params[name] = value;
   }
   engine::ExecOptions exec = options_.exec;
   exec.prepared = &plan->programs;
-  engine::Executor executor(db_, std::move(params), exec);
+  exec.cancel = request.cancel;
+  if (budget_ms > 0) {
+    exec.deadline_ns = t0 + static_cast<int64_t>(budget_ms * 1e6);
+  }
+  engine::Executor executor(version->db.get(), std::move(params), exec);
   const int64_t exec_start = obs::NowNanos();
   LEGODB_ASSIGN_OR_RETURN(response.result,
                           executor.ExecuteQuery(plan->query, plan->plans));

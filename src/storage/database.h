@@ -1,6 +1,7 @@
 #ifndef LEGODB_STORAGE_DATABASE_H_
 #define LEGODB_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -125,6 +126,12 @@ class Database {
   // Creates empty tables for every table in the catalog.
   explicit Database(const rel::Catalog& catalog);
 
+  // Movable (the atomic id counter would otherwise delete the default);
+  // move only while single-threaded, i.e. before serving starts.
+  Database(Database&& other) noexcept
+      : tables_(std::move(other.tables_)),
+        next_id_(other.next_id_.load(std::memory_order_relaxed)) {}
+
   StoredTable* FindTable(const std::string& name);
   const StoredTable* FindTable(const std::string& name) const;
   StoredTable& GetTable(const std::string& name);
@@ -142,8 +149,11 @@ class Database {
   Status PrewarmColumns();
 
   // Fresh unique id for a new row (shared across tables, like the paper's
-  // element node ids).
-  int64_t NextId() { return next_id_++; }
+  // element node ids). Atomic: a Database is documented as shared, and the
+  // migrator's shadow loads may run concurrently with other writers of
+  // *other* databases — a plain increment here was a latent lost-update
+  // bug for any two threads shredding into one database.
+  int64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
 
   // Total number of rows across all tables.
   size_t TotalRows() const;
@@ -152,7 +162,7 @@ class Database {
 
  private:
   std::map<std::string, StoredTable> tables_;
-  int64_t next_id_ = 1;
+  std::atomic<int64_t> next_id_{1};
 };
 
 }  // namespace legodb::store

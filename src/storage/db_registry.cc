@@ -1,0 +1,61 @@
+#include "storage/db_registry.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace legodb::store {
+
+DbRegistry::DbRegistry(std::shared_ptr<const map::Mapping> mapping,
+                       std::shared_ptr<Database> db)
+    : next_generation_(2) {
+  LEGODB_CHECK(mapping != nullptr && db != nullptr,
+               "DbRegistry needs a loaded mapping and database");
+  auto version = std::make_shared<DbVersion>();
+  version->generation = 1;
+  version->mapping = std::move(mapping);
+  version->db = std::move(db);
+  current_ = std::move(version);
+}
+
+DbVersionPtr DbRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t DbRegistry::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->generation;
+}
+
+DbVersionPtr DbRegistry::Publish(std::shared_ptr<const map::Mapping> mapping,
+                                 std::shared_ptr<Database> db) {
+  LEGODB_CHECK(mapping != nullptr && db != nullptr,
+               "DbRegistry::Publish needs a loaded mapping and database");
+  auto version = std::make_shared<DbVersion>();
+  version->mapping = std::move(mapping);
+  version->db = std::move(db);
+  std::lock_guard<std::mutex> lock(mu_);
+  version->generation = next_generation_++;
+  current_ = version;
+  return version;
+}
+
+double DbRegistry::WaitForDrain(const DbVersionPtr& version,
+                                double timeout_ms) {
+  const int64_t start = obs::NowNanos();
+  // use_count == 1 means only the caller's pointer is left. The count can
+  // only decrease once the version is out of the registry, so a stale read
+  // merely delays one poll round.
+  while (version.use_count() > 1) {
+    double elapsed = static_cast<double>(obs::NowNanos() - start) / 1e6;
+    if (elapsed >= timeout_ms) return timeout_ms;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return static_cast<double>(obs::NowNanos() - start) / 1e6;
+}
+
+}  // namespace legodb::store

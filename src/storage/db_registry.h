@@ -1,0 +1,82 @@
+#ifndef LEGODB_STORAGE_DB_REGISTRY_H_
+#define LEGODB_STORAGE_DB_REGISTRY_H_
+
+// Versioned database handle for online reconfiguration.
+//
+// A DbRegistry holds the *current* storage configuration of one logical
+// XML database as an immutable DbVersion snapshot: the relational mapping,
+// the shredded store::Database, and a monotonically increasing generation
+// number. Readers pin a version with Current() — a shared_ptr they hold
+// for the lifetime of one request — and never observe a half-swapped
+// state: Publish() installs a fully built replacement atomically, after
+// which new requests see the new generation while in-flight requests keep
+// executing against the version they pinned. The old version therefore
+// "drains" naturally: it is destroyed when the last pinned request
+// releases it, with no stop-the-world barrier anywhere.
+//
+// The Database inside a version is logically immutable once published
+// (loading finished before Publish), but is held non-const because its
+// index/column registries build lazily under internal locks; any number
+// of concurrent readers is safe. The generation number is the plan-cache
+// invalidation key: serving tags cached prepared plans with the
+// generation they were compiled against, so a cached plan from a previous
+// version degrades to a cache miss instead of silently executing against
+// the wrong catalog (see serving/plan_cache.h).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "mapping/mapping.h"
+#include "storage/database.h"
+
+namespace legodb::store {
+
+// One immutable (configuration, database) snapshot. Requests pin it for
+// their lifetime; the migrator keeps the superseded version alive only
+// until it drains.
+struct DbVersion {
+  uint64_t generation = 0;
+  std::shared_ptr<const map::Mapping> mapping;
+  std::shared_ptr<Database> db;  // logically const after publish
+};
+
+using DbVersionPtr = std::shared_ptr<const DbVersion>;
+
+class DbRegistry {
+ public:
+  // Installs the initial version as generation 1. Both pointers must be
+  // fully loaded (and ideally prewarmed) before the registry is shared.
+  DbRegistry(std::shared_ptr<const map::Mapping> mapping,
+             std::shared_ptr<Database> db);
+
+  // The current version. Each caller holds the returned pointer for as
+  // long as it needs a consistent view (one request, one verification
+  // pass); releasing it is what lets a superseded version drain.
+  DbVersionPtr Current() const;
+
+  // Current generation number (== Current()->generation, cheaper).
+  uint64_t generation() const;
+
+  // Atomically replaces the current version with a new snapshot at the
+  // next generation and returns it. The caller must have finished loading
+  // `db` — after Publish it is visible to every thread.
+  DbVersionPtr Publish(std::shared_ptr<const map::Mapping> mapping,
+                       std::shared_ptr<Database> db);
+
+  // Blocks until `version` is referenced only by the caller's pointer (all
+  // pinned requests finished) or `timeout_ms` elapses. Returns the wait in
+  // milliseconds (== timeout_ms on timeout). The reference count is
+  // observed with shared_ptr::use_count — exact once no new pins can
+  // appear, which holds after the version was superseded by Publish.
+  static double WaitForDrain(const DbVersionPtr& version, double timeout_ms);
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_generation_;
+  DbVersionPtr current_;
+};
+
+}  // namespace legodb::store
+
+#endif  // LEGODB_STORAGE_DB_REGISTRY_H_

@@ -7,6 +7,7 @@
 // --tsan runner leans on).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <thread>
 #include <vector>
@@ -15,11 +16,14 @@
 #include "common/hash.h"
 #include "engine/executor.h"
 #include "mapping/mapping.h"
+#include "obs/obs.h"
 #include "optimizer/optimizer.h"
 #include "pschema/pschema.h"
 #include "serving/canonicalize.h"
 #include "serving/plan_cache.h"
+#include "serving/retry.h"
 #include "serving/server.h"
+#include "storage/db_registry.h"
 #include "storage/shredder.h"
 #include "translate/translate.h"
 #include "xml/parser.h"
@@ -109,14 +113,14 @@ std::shared_ptr<const PreparedPlan> DummyPlan(const std::string& text) {
 TEST(PlanCache, HitMissAndLruEvictionAtCapacity) {
   PlanCache cache(/*shards=*/1, /*capacity_per_shard=*/2);
   auto a = DummyPlan("a"), b = DummyPlan("b"), c = DummyPlan("c");
-  EXPECT_EQ(cache.Find(a->fingerprint, "a"), nullptr);
+  EXPECT_EQ(cache.Find(a->fingerprint, "a", 0), nullptr);
   cache.Insert(a);
   cache.Insert(b);
-  EXPECT_NE(cache.Find(a->fingerprint, "a"), nullptr);  // a now MRU
+  EXPECT_NE(cache.Find(a->fingerprint, "a", 0), nullptr);  // a now MRU
   cache.Insert(c);                                      // evicts b (LRU)
-  EXPECT_EQ(cache.Find(b->fingerprint, "b"), nullptr);
-  EXPECT_NE(cache.Find(a->fingerprint, "a"), nullptr);
-  EXPECT_NE(cache.Find(c->fingerprint, "c"), nullptr);
+  EXPECT_EQ(cache.Find(b->fingerprint, "b", 0), nullptr);
+  EXPECT_NE(cache.Find(a->fingerprint, "a", 0), nullptr);
+  EXPECT_NE(cache.Find(c->fingerprint, "c", 0), nullptr);
 
   PlanCache::Stats stats = cache.GetStats();
   EXPECT_EQ(stats.entries, 2u);
@@ -130,7 +134,7 @@ TEST(PlanCache, FingerprintCollisionDegradesToMiss) {
   auto a = DummyPlan("a");
   cache.Insert(a);
   // Same fingerprint, different canonical text: must not serve a's plan.
-  EXPECT_EQ(cache.Find(a->fingerprint, "not-a"), nullptr);
+  EXPECT_EQ(cache.Find(a->fingerprint, "not-a", 0), nullptr);
   PlanCache::Stats stats = cache.GetStats();
   EXPECT_EQ(stats.collisions, 1);
   EXPECT_EQ(stats.misses, 1);
@@ -165,6 +169,41 @@ TEST(AdmissionController, ZeroMeansUnboundedButCounted) {
   AdmissionController ac(0);
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(ac.TryAdmit());
   EXPECT_EQ(ac.inflight(), 100u);
+}
+
+#ifndef NDEBUG
+TEST(AdmissionControllerDeathTest, ReleaseWithoutAdmitIsCaught) {
+  // An unpaired Release would wrap the unsigned in-flight counter and
+  // silently disable admission control; the DCHECK must trip instead.
+  AdmissionController ac(2);
+  EXPECT_DEATH(ac.Release(), "Release without admit");
+}
+#endif
+
+// --- Retry policy ----------------------------------------------------------
+
+TEST(RetryPolicy, BackoffIsDeterministicJitteredAndCapped) {
+  RetryPolicy policy;
+  policy.seed = 42;
+  double nominal = policy.initial_backoff_ms;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    double capped = std::min(nominal, policy.max_backoff_ms);
+    double b = BackoffMs(policy, attempt);
+    // Jitter factor lives in [0.5, 1.0) of the capped nominal backoff.
+    EXPECT_GE(b, 0.5 * capped) << attempt;
+    EXPECT_LT(b, capped) << attempt;
+    // Pure function of (policy, attempt): replays bit-for-bit.
+    EXPECT_EQ(b, BackoffMs(policy, attempt)) << attempt;
+    nominal *= policy.backoff_multiplier;
+  }
+  // A different seed decorrelates the schedule.
+  RetryPolicy other = policy;
+  other.seed = 43;
+  bool any_differ = false;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    any_differ |= BackoffMs(policy, attempt) != BackoffMs(other, attempt);
+  }
+  EXPECT_TRUE(any_differ);
 }
 
 // --- End-to-end serving ----------------------------------------------------
@@ -400,6 +439,230 @@ TEST_F(ServingTest, PrewarmBuildsColumnShadows) {
   // idempotent and OK on a loaded database.
   EXPECT_TRUE(db_->PrewarmColumns().ok());
   EXPECT_TRUE(db_->PrewarmColumns().ok());
+}
+
+// --- Generations and cancellation ------------------------------------------
+
+TEST_F(ServingTest, StalePlanCacheHitRecompilesAfterPublish) {
+  // Wrap the fixture database in a registry so a new generation can be
+  // published underneath the server (the same physical data is fine: the
+  // point is the generation tag, not the layout).
+  std::shared_ptr<const map::Mapping> mapping(mapping_.get(),
+                                              [](const map::Mapping*) {});
+  std::shared_ptr<store::Database> db(db_.get(), [](store::Database*) {});
+  store::DbRegistry registry(mapping, db);
+  QueryServer server(&registry);
+  ASSERT_TRUE(server.Prewarm().ok());
+
+  const std::string q =
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = \"n7\" RETURN $v/size";
+  xq::ResultSet expected = Uncached(q);
+
+  auto miss = server.Serve(q);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->cache_hit);
+  EXPECT_EQ(miss->generation, 1u);
+
+  auto hit = server.Serve(q);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+
+  registry.Publish(mapping, db);  // generation 1 -> 2
+
+  // The cached plan was compiled against generation 1: the lookup must
+  // degrade to a stale miss + recompile, never serve the old plan.
+  auto stale = server.Serve(q);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_FALSE(stale->cache_hit);
+  EXPECT_EQ(stale->generation, 2u);
+  EXPECT_TRUE(stale->result.rows == expected.rows);
+  PlanCache::Stats stats = server.CacheStats();
+  EXPECT_EQ(stats.stale, 1);
+  EXPECT_EQ(stats.misses, 2);
+
+  // The recompiled entry is a first-class hit at the new generation.
+  auto rehit = server.Serve(q);
+  ASSERT_TRUE(rehit.ok());
+  EXPECT_TRUE(rehit->cache_hit);
+  EXPECT_EQ(rehit->generation, 2u);
+}
+
+TEST_F(ServingTest, PreCancelledTokenIsRejectedBeforeExecution) {
+  auto server = MakeServer();
+  const std::string q = "FOR $v IN document(\"d\")/p/c RETURN $v/name";
+  ASSERT_TRUE(server->Serve(q).ok());  // warm the cache
+
+  common::CancelToken token;
+  token.Cancel();
+  RequestOptions request;
+  request.cancel = &token;
+  auto response = server->Serve(q, request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kCancelled);
+  EXPECT_NE(response.status().message().find("before execution"),
+            std::string::npos)
+      << response.status().ToString();
+  EXPECT_EQ(server->inflight(), 0u);  // the admission slot was released
+
+  // A fresh (uncancelled) token serves normally.
+  common::CancelToken fresh;
+  request.cancel = &fresh;
+  EXPECT_TRUE(server->Serve(q, request).ok());
+}
+
+TEST_F(ServingTest, ServeWithRetryPassesThroughTerminalOutcomes) {
+  auto server = MakeServer();
+  const std::string q = "FOR $v IN document(\"d\")/p/c RETURN $v/name";
+  RetryPolicy policy;
+  RetryStats stats;
+
+  // Immediate success: one attempt, no sleeping.
+  auto response = ServeWithRetry(server.get(), q, {}, policy, &stats);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.backoff_ms, 0);
+
+  // Non-retryable failure (Internal from the cache failpoint): returned
+  // immediately, no retries burned.
+  fp::ScopedFailpoints failpoints("serving.cache_lookup=1+");
+  ASSERT_TRUE(failpoints.status().ok());
+  stats = RetryStats();
+  response = ServeWithRetry(server.get(), q, {}, policy, &stats);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kInternal);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, 0);
+}
+
+// --- Deadlines and cancellation during execution ---------------------------
+
+// A table large enough that a vector-at-a-time scan takes comfortably
+// longer than the budgets below; vector_size=1 maximizes interrupt-check
+// granularity (one check per row).
+class SlowScanTest : public ::testing::Test {
+ protected:
+  static constexpr int kRows = 60000;
+
+  void SetUp() override {
+    auto schema = xs::ParseSchema(
+        "type P = p[ C* ] "
+        "type C = c[ name[ String ], size[ Integer ]? ]");
+    ASSERT_TRUE(schema.ok());
+    auto mapping = map::MapSchema(ps::Normalize(schema.value()));
+    ASSERT_TRUE(mapping.ok());
+    mapping_ = std::make_unique<map::Mapping>(std::move(mapping).value());
+    db_ = std::make_unique<store::Database>(mapping_->catalog());
+    std::string text = "<p>";
+    for (int i = 0; i < kRows; ++i) {
+      text += "<c><name>n" + std::to_string(i % 997) + "</name><size>" +
+              std::to_string(i) + "</size></c>";
+    }
+    text += "</p>";
+    auto doc = xml::ParseDocument(text);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(store::ShredDocument(doc.value(), *mapping_, db_.get()).ok());
+    ASSERT_TRUE(db_->PrewarmColumns().ok());
+  }
+
+  // The scan query: a selective filter that still visits every row.
+  const std::string query_ =
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = \"n13\" RETURN $v/size";
+
+  StatusOr<xq::ResultSet> Execute(const engine::ExecOptions& exec_options) {
+    LEGODB_ASSIGN_OR_RETURN(xq::Query q, xq::ParseQuery(query_));
+    LEGODB_ASSIGN_OR_RETURN(opt::RelQuery rq,
+                            xlat::TranslateQuery(q, *mapping_));
+    opt::Optimizer optimizer(mapping_->catalog());
+    LEGODB_ASSIGN_OR_RETURN(opt::PlannedQuery planned, optimizer.PlanQuery(rq));
+    std::vector<opt::PhysicalPlanPtr> plans;
+    for (const auto& b : planned.blocks) plans.push_back(b.plan);
+    engine::Executor exec(db_.get(), {}, exec_options);
+    return exec.ExecuteQuery(rq, plans);
+  }
+
+  std::unique_ptr<map::Mapping> mapping_;
+  std::unique_ptr<store::Database> db_;
+};
+
+TEST_F(SlowScanTest, ExecutorStopsAtExpiredDeadlineDuringExecution) {
+  engine::ExecOptions exec_options;
+  exec_options.vector_size = 1;
+  exec_options.deadline_ns = obs::NowNanos() - 1;  // already expired
+  auto result = Execute(exec_options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("during execution"),
+            std::string::npos)
+      << result.status().ToString();
+  // Without the deadline the same execution completes.
+  exec_options.deadline_ns = 0;
+  EXPECT_TRUE(Execute(exec_options).ok());
+}
+
+TEST_F(SlowScanTest, ExecutorStopsAtCancelledTokenDuringExecution) {
+  common::CancelToken token;
+  token.Cancel();
+  engine::ExecOptions exec_options;
+  exec_options.vector_size = 1;
+  exec_options.cancel = &token;
+  auto result = Execute(exec_options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCancelled);
+  EXPECT_NE(result.status().message().find("during execution"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(SlowScanTest, ServeDeadlineFiresDuringExecutionNotBefore) {
+  ServerOptions options;
+  options.exec.vector_size = 1;  // one interrupt check per row
+  QueryServer server(db_.get(), mapping_.get(), options);
+  ASSERT_TRUE(server.Prewarm().ok());
+  ASSERT_TRUE(server.Serve(query_).ok());  // warm the cache, no deadline
+
+  // On a cache hit the front end is microseconds, so a 0.5 ms budget
+  // survives it — but a 60k-row tuple-at-a-time scan cannot finish in
+  // 0.5 ms, so the deadline must fire *during* execution.
+  RequestOptions request;
+  request.budget_ms = 0.5;
+  auto response = server.Serve(query_, request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_NE(response.status().message().find("during execution"),
+            std::string::npos)
+      << response.status().ToString();
+  EXPECT_EQ(server.inflight(), 0u);
+}
+
+TEST_F(SlowScanTest, ServeWithRetryRidesOutTransientOverload) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.exec.vector_size = 1;
+  QueryServer server(db_.get(), mapping_.get(), options);
+  ASSERT_TRUE(server.Prewarm().ok());
+  ASSERT_TRUE(server.Serve(query_).ok());  // warm the cache serially
+
+  // One slow request occupies the single admission slot; a retrying
+  // client must back off until the slot frees instead of failing.
+  std::thread occupant([&] { EXPECT_TRUE(server.Serve(query_).ok()); });
+  while (server.inflight() == 0) std::this_thread::yield();
+
+  RetryPolicy policy;
+  policy.max_attempts = 4000;  // bounded, but far beyond the occupant's time
+  policy.initial_backoff_ms = 0.1;
+  policy.backoff_multiplier = 1.0;
+  policy.seed = 7;
+  RetryStats stats;
+  auto response = ServeWithRetry(&server, query_, {}, policy, &stats);
+  occupant.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_GE(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, stats.attempts - 1);
+  if (stats.retries > 0) {
+    EXPECT_GT(stats.backoff_ms, 0);
+  }
+  EXPECT_EQ(server.inflight(), 0u);
 }
 
 }  // namespace

@@ -21,6 +21,13 @@
 #                                            # bit-identity gate, report
 #                                            # merged + compared against the
 #                                            # committed BENCH_results.json
+#   tools/check.sh --chaos                   # TSan build of the online-
+#                                            # reconfiguration path: the
+#                                            # migration chaos harness
+#                                            # (serving threads vs. looping
+#                                            # migrations with failpoints)
+#                                            # plus serving_test and the
+#                                            # registry/drain storage suites
 #
 # --tsan builds into build-tsan with -DLEGODB_SANITIZE=thread and runs the
 # tests exercising the parallel search (search_test, plus the transform and
@@ -46,6 +53,25 @@ if [[ "${1:-}" == "--tsan" ]]; then
   export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
   ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
     -R 'search_test|transforms_test|pipeline_test|robustness_test|engine_equivalence_test|serving_test'
+  exit 0
+fi
+
+# --chaos: the online-reconfiguration path under ThreadSanitizer. Builds
+# the migration chaos harness (8 serving threads racing a migration loop
+# with failpoints armed at every migrate.* site), serving_test (which
+# carries the stale-plan-cache, cancellation, and deadline-mid-execution
+# regressions), and storage_test (DbRegistry publish/drain and NextId
+# concurrency) into build-tsan, then runs them with halt_on_error=1 so any
+# data race — or any non-bit-identical response under migration fire —
+# fails the script.
+if [[ "${1:-}" == "--chaos" ]]; then
+  shift
+  cmake -B build-tsan -S . -DLEGODB_SANITIZE=thread "$@"
+  cmake --build build-tsan -j"$(nproc)" --target \
+    migration_chaos_test serving_test storage_test
+  export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+  ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+    -R 'migration_chaos_test|serving_test|storage_test'
   exit 0
 fi
 

@@ -7,9 +7,9 @@
 //          [--start so|si] [--beam N] [--threads N] [--threshold F]
 //          [--budget-ms N] [--max-iterations N] [--max-candidates N]
 //          [--failpoints SPEC] [--explain] [--explain-search]
-//          [--explain-analyze] [--serve N] [--xml FILE]
-//          [--param NAME=VALUE] [--trace] [--metrics-out=FILE]
-//          [--trace-out=FILE]
+//          [--explain-analyze] [--serve N] [--migrate-to so|si]
+//          [--xml FILE] [--param NAME=VALUE] [--trace]
+//          [--metrics-out=FILE] [--trace-out=FILE]
 //   legodb --demo imdb|auction       # run on the built-in applications
 //
 // Exit codes: 0 success, 2 configuration error (bad flags, unreadable or
@@ -32,25 +32,34 @@
 // cache-hit columns plus the cache's hit/miss/eviction totals.
 // --trace-out writes the whole run (search iterations and
 // executor open/next phases) as Chrome-trace JSON loadable by
-// chrome://tracing or Perfetto.
+// chrome://tracing or Perfetto. --migrate-to so|si (with --serve) runs an
+// online migration to the fully-outlined/fully-inlined configuration on a
+// background thread *while* the serving loop is running, then prints the
+// migration report and the plan cache's stale-recompile count — a live
+// demonstration of the shadow-shred / verify / swap pipeline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "auction/auction.h"
 #include "common/failpoint.h"
+#include "serving/migrator.h"
 #include "serving/server.h"
 #include "core/explain.h"
 #include "core/legodb.h"
 #include "engine/executor.h"
 #include "engine/explain_analyze.h"
 #include "imdb/imdb.h"
+#include "pschema/pschema.h"
 #include "storage/database.h"
+#include "storage/db_registry.h"
 #include "storage/shredder.h"
 #include "xml/parser.h"
 #include "xschema/stats_collector.h"
@@ -95,6 +104,7 @@ int Usage() {
       "              [--update NAME:W:path/to/element]... [--start so|si]\n"
       "              [--beam N] [--threads N] [--threshold F] [--explain]\n"
       "              [--explain-search] [--explain-analyze] [--serve N]\n"
+      "              [--migrate-to so|si]\n"
       "              [--xml FILE] [--param NAME=VALUE]... [--trace]\n"
       "              [--metrics-out=FILE] [--trace-out=FILE] [--budget-ms N]\n"
       "              [--max-iterations N] [--max-candidates N]\n"
@@ -152,6 +162,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string xml_path;
+  std::string migrate_to;  // "", "so", or "si"
   std::map<std::string, Value> params;
   bool have_schema = false;
   std::string demo;
@@ -248,6 +259,14 @@ int main(int argc, char** argv) {
       if (!v) return Usage();
       serve_reps = std::atoi(v);
       if (serve_reps < 1) return Usage();
+    } else if (arg == "--migrate-to") {
+      const char* v = next();
+      if (!v) return Usage();
+      migrate_to = v;
+      if (migrate_to != "so" && migrate_to != "si") {
+        std::fprintf(stderr, "--migrate-to expects so or si\n");
+        return Usage();
+      }
     } else if (arg == "--xml") {
       const char* v = next();
       if (!v) return Usage();
@@ -440,13 +459,55 @@ int main(int argc, char** argv) {
     // first request per query misses (parse/translate/optimize/compile);
     // the remaining N-1 bind parameters into the cached templates.
     if (serve_reps > 0) {
-      serving::QueryServer server(&db, &result->mapping);
+      // Serving goes through a versioned registry so --migrate-to can swap
+      // the configuration underneath the loop. The initial version borrows
+      // the stack-owned mapping/db (no-op deleters); migrated versions are
+      // owned by the registry.
+      store::DbRegistry registry(
+          std::shared_ptr<const map::Mapping>(&result->mapping,
+                                              [](const map::Mapping*) {}),
+          std::shared_ptr<store::Database>(&db, [](store::Database*) {}));
+      serving::QueryServer server(&registry);
       Status prewarm = server.Prewarm();
       if (!prewarm.ok()) {
         std::fprintf(stderr, "error: --serve prewarm: %s\n",
                      prewarm.ToString().c_str());
         return kExitRuntimeError;
       }
+
+      // --migrate-to: shadow-shred / verify / swap on a background thread
+      // while the serving loop below keeps answering queries.
+      std::thread migration_thread;
+      StatusOr<serving::MigrationReport> migration_report =
+          Status::Unavailable("migration not run");
+      serving::Migrator migrator(&registry, &doc.value());
+      if (!migrate_to.empty()) {
+        xs::Schema target = migrate_to == "si"
+                                ? ps::AllInlined(result->search.best_schema)
+                                : ps::AllOutlined(result->search.best_schema);
+        std::vector<serving::MigrationQuery> verify_queries;
+        for (const auto& [name, text] : query_texts) {
+          verify_queries.push_back({name, text});
+        }
+        serving::MigrationOptions migration_options;
+        migration_options.params = params;
+        // Everything the thread reads is moved/copied in: the enclosing
+        // block exits while the migration is still running. The ambient
+        // obs registry is thread-local, so the thread re-installs the
+        // run's registry (the core::ParallelFor worker pattern) — without
+        // it every migration.* metric and migrate.* span would vanish.
+        obs::Registry* run_registry_ptr = obs::Current();
+        migration_thread = std::thread(
+            [&migrator, &migration_report, run_registry_ptr,
+             target = std::move(target),
+             verify_queries = std::move(verify_queries),
+             migration_options = std::move(migration_options)] {
+              obs::ScopedRegistry scoped(run_registry_ptr);
+              migration_report = migrator.MigrateTo(target, verify_queries,
+                                                    migration_options);
+            });
+      }
+
       serving::RequestOptions request;
       request.params = params;
       std::printf("=== serving (%d requests per query) ===\n", serve_reps);
@@ -486,14 +547,30 @@ int main(int argc, char** argv) {
                     rows, hits, first_ms,
                     hits == 0 ? 0 : cached_ms / hits);
       }
+      if (migration_thread.joinable()) migration_thread.join();
+      if (!migrate_to.empty()) {
+        if (migration_report.ok()) {
+          std::printf("=== migration (--migrate-to %s) ===\n%s\n",
+                      migrate_to.c_str(),
+                      migration_report->ToString().c_str());
+        } else {
+          std::printf(
+              "=== migration (--migrate-to %s) ===\nrolled back: %s\n",
+              migrate_to.c_str(),
+              migration_report.status().ToString().c_str());
+        }
+        std::printf("serving generation now %llu\n",
+                    static_cast<unsigned long long>(registry.generation()));
+      }
       serving::PlanCache::Stats stats = server.CacheStats();
       std::printf(
           "plan cache: %zu entries, %lld hits / %lld misses (rate %.3f), "
-          "%lld evictions, %lld collisions\n\n",
+          "%lld evictions, %lld collisions, %lld stale recompiles\n\n",
           stats.entries, static_cast<long long>(stats.hits),
           static_cast<long long>(stats.misses), stats.HitRate(),
           static_cast<long long>(stats.evictions),
-          static_cast<long long>(stats.collisions));
+          static_cast<long long>(stats.collisions),
+          static_cast<long long>(stats.stale));
     }
   }
 
