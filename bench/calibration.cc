@@ -17,10 +17,22 @@
 // output path captures the whole report in the same format as the other
 // BENCH_*.json trajectories:
 //
-//   calibration [--batch-size=N] [--scale=N] [--reps=N] [BENCH_out.json]
+//   calibration [--batch-size=N] [--scale=N] [--reps=N] [--backend=mem|disk]
+//               [--pool-pages=N] [--page-size=N] [--require-io]
+//               [BENCH_out.json]
 //
 // --batch-size sets the engine's per-Next() batch size, --scale multiplies
 // the synthetic data volume, --reps the timed executions per query.
+//
+// --backend=disk runs both workloads over the paged storage backend
+// (--page-size bytes per page, --pool-pages buffer-pool frames) and sets
+// CostParams::page_size to match, so a second calibration axis opens up:
+// the optimizer's decomposed seek/byte estimates (PhysicalPlan::est_seeks /
+// est_bytes) against the buffer pool's *measured* fault traffic, reported
+// as q-errors and Spearman rank correlations per domain
+// (calibration.<domain>.seeks_spearman / .bytes_spearman). --require-io
+// makes a zero-measured-IO run a hard failure (exit 1) — the disk smoke
+// check in tools/check.sh uses it to prove the counters are real.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -92,16 +104,27 @@ double Median(std::vector<double> v) {
   return v.size() % 2 ? v[mid] : (v[mid - 1] + v[mid]) / 2;
 }
 
+double QError(double est, double act) {
+  double lo = std::min(est, act), hi = std::max(est, act);
+  if (hi <= 0) return 1.0;
+  if (lo <= 0) return hi;  // one side zero: report the magnitude
+  return hi / lo;
+}
+
 // Runs one domain's workload and prints + exports its calibration report.
-void RunDomain(const std::string& domain, const map::Mapping& mapping,
-               store::Database* db, const std::vector<QuerySpec>& queries,
-               size_t batch_size, int reps) {
+// Returns the total measured IO (seeks + bytes) across the workload, so
+// main can enforce --require-io.
+double RunDomain(const std::string& domain, const map::Mapping& mapping,
+                 store::Database* db, const std::vector<QuerySpec>& queries,
+                 const opt::CostParams& cost_params, size_t batch_size,
+                 int reps) {
   std::printf("== %s ==\n", domain.c_str());
-  opt::Optimizer optimizer(mapping.catalog());
+  opt::Optimizer optimizer(mapping.catalog(), cost_params);
 
   TablePrinter ops_table(
       {"query", "operator", "est_rows", "rows", "q-err", "ms"});
   std::vector<double> est_costs, measured_ms, qerrors;
+  std::vector<double> est_seeks, act_seeks, est_bytes, act_bytes;
   std::vector<std::string> qnames;
 
   for (const QuerySpec& q : queries) {
@@ -112,10 +135,14 @@ void RunDomain(const std::string& domain, const map::Mapping& mapping,
     auto planned = optimizer.PlanQuery(rq.value());
     bench::Check(planned.status(), q.name.c_str());
     std::vector<opt::PhysicalPlanPtr> plans;
-    double est_cost = 0;
+    double est_cost = 0, q_est_seeks = 0, q_est_bytes = 0;
     for (const auto& b : planned->blocks) {
       plans.push_back(b.plan);
-      if (b.plan) est_cost += b.plan->est_cost;
+      if (b.plan) {
+        est_cost += b.plan->est_cost;
+        q_est_seeks += b.plan->est_seeks;
+        q_est_bytes += b.plan->est_bytes;
+      }
     }
 
     engine::ExecOptions options;
@@ -125,6 +152,13 @@ void RunDomain(const std::string& domain, const map::Mapping& mapping,
 
     // Timed executions; the profile of the last run feeds the q-errors
     // (cardinalities are deterministic, so any run's profile is the same).
+    // ExecStats accumulate across runs, so the per-run measured IO is the
+    // delta over the loop divided by reps. On the paged backend the first
+    // run faults pages in cold and later runs hit the pool, so the average
+    // reflects steady-state traffic, exactly what the cost model predicts
+    // only when data exceeds the pool — use small --pool-pages to exercise
+    // the eviction path.
+    engine::ExecStats before = exec.stats();
     int64_t start_ns = obs::NowNanos();
     for (int r = 0; r < reps; ++r) {
       auto result = exec.ExecuteQuery(rq.value(), plans);
@@ -132,6 +166,9 @@ void RunDomain(const std::string& domain, const map::Mapping& mapping,
     }
     double ms =
         static_cast<double>(obs::NowNanos() - start_ns) / 1e6 / reps;
+    double q_act_seeks = (exec.stats().seeks - before.seeks) / reps;
+    double q_act_bytes =
+        (exec.stats().bytes_read - before.bytes_read) / reps;
 
     for (const engine::OpActual& op : exec.profile().ops) {
       double qerr = op.QError();
@@ -145,18 +182,27 @@ void RunDomain(const std::string& domain, const map::Mapping& mapping,
     }
     est_costs.push_back(est_cost);
     measured_ms.push_back(ms);
+    est_seeks.push_back(q_est_seeks);
+    act_seeks.push_back(q_act_seeks);
+    est_bytes.push_back(q_est_bytes);
+    act_bytes.push_back(q_act_bytes);
     qnames.push_back(q.name);
   }
   ops_table.Print();
 
-  TablePrinter summary({"query", "est_cost", "ms", "est_rank", "ms_rank"});
+  TablePrinter summary({"query", "est_cost", "ms", "est_rank", "ms_rank",
+                        "est_seeks", "seeks", "est_bytes", "bytes"});
   std::vector<double> cost_ranks = Ranks(est_costs);
   std::vector<double> ms_ranks = Ranks(measured_ms);
   for (size_t i = 0; i < qnames.size(); ++i) {
     summary.AddRow({qnames[i], FormatDouble(est_costs[i], 1),
                     FormatDouble(measured_ms[i], 3),
                     FormatDouble(cost_ranks[i], 1),
-                    FormatDouble(ms_ranks[i], 1)});
+                    FormatDouble(ms_ranks[i], 1),
+                    FormatDouble(est_seeks[i], 0),
+                    FormatDouble(act_seeks[i], 0),
+                    FormatDouble(est_bytes[i], 0),
+                    FormatDouble(act_bytes[i], 0)});
     obs::Observe("calibration." + domain + ".query_ms", measured_ms[i]);
   }
   summary.Print();
@@ -169,10 +215,33 @@ void RunDomain(const std::string& domain, const map::Mapping& mapping,
   obs::SetGauge("calibration." + domain + ".spearman", rho);
   obs::SetGauge("calibration." + domain + ".median_qerror", med_q);
   obs::SetGauge("calibration." + domain + ".max_qerror", max_q);
+
+  // IO calibration: the optimizer's decomposed seek/byte predictions
+  // against what the engine measured — real buffer-pool fault traffic on
+  // the paged backend, the modeled per-operator charges on memory.
+  double seeks_rho = Spearman(est_seeks, act_seeks);
+  double bytes_rho = Spearman(est_bytes, act_bytes);
+  std::vector<double> seeks_qerrs, bytes_qerrs;
+  double io_total = 0;
+  for (size_t i = 0; i < qnames.size(); ++i) {
+    seeks_qerrs.push_back(QError(est_seeks[i], act_seeks[i]));
+    bytes_qerrs.push_back(QError(est_bytes[i], act_bytes[i]));
+    io_total += act_seeks[i] + act_bytes[i];
+  }
+  obs::SetGauge("calibration." + domain + ".seeks_spearman", seeks_rho);
+  obs::SetGauge("calibration." + domain + ".bytes_spearman", bytes_rho);
+  obs::SetGauge("calibration." + domain + ".seeks_median_qerror",
+                Median(seeks_qerrs));
+  obs::SetGauge("calibration." + domain + ".bytes_median_qerror",
+                Median(bytes_qerrs));
   std::printf(
       "spearman(est_cost, measured_ms) = %.3f over %zu queries; "
-      "cardinality q-error median %.2f, max %.2f\n\n",
-      rho, qnames.size(), med_q, max_q);
+      "cardinality q-error median %.2f, max %.2f\n"
+      "spearman(est_seeks, seeks) = %.3f, spearman(est_bytes, bytes) = %.3f; "
+      "seek q-error median %.2f, byte q-error median %.2f\n\n",
+      rho, qnames.size(), med_q, max_q, seeks_rho, bytes_rho,
+      Median(seeks_qerrs), Median(bytes_qerrs));
+  return io_total;
 }
 
 }  // namespace
@@ -182,6 +251,10 @@ int main(int argc, char** argv) {
   size_t batch_size = 1024;
   int scale = 1;
   int reps = 20;
+  bool disk = false;
+  bool require_io = false;
+  size_t pool_pages = 16;
+  size_t page_size = 4096;
   std::string json_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--batch-size=", 13) == 0) {
@@ -190,6 +263,14 @@ int main(int argc, char** argv) {
       scale = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      disk = std::strcmp(argv[i] + 10, "disk") == 0;
+    } else if (std::strncmp(argv[i], "--pool-pages=", 13) == 0) {
+      pool_pages = static_cast<size_t>(std::atol(argv[i] + 13));
+    } else if (std::strncmp(argv[i], "--page-size=", 12) == 0) {
+      page_size = static_cast<size_t>(std::atol(argv[i] + 12));
+    } else if (std::strcmp(argv[i], "--require-io") == 0) {
+      require_io = true;
     } else {
       json_out = argv[i];
     }
@@ -197,15 +278,27 @@ int main(int argc, char** argv) {
   if (batch_size == 0) batch_size = 1;
   if (scale < 1) scale = 1;
   if (reps < 1) reps = 1;
+  if (pool_pages == 0) pool_pages = 1;
+  store::StorageOptions storage =
+      disk ? store::StorageOptions::Paged(page_size, pool_pages)
+           : store::StorageOptions::Memory();
+  opt::CostParams cost_params;
+  if (disk) cost_params.page_size = static_cast<double>(page_size);
   {
     engine::ExecOptions options;
     options.batch_size = batch_size;
     bench::StampEngineMeta(&obs_session, options);
   }
+  obs_session.SetMeta("backend", disk ? "disk" : "mem");
   std::printf(
       "Cost-model calibration: estimated vs. measured per operator and per\n"
-      "query (batch_size=%zu, scale=%d, reps=%d).\n\n",
-      batch_size, scale, reps);
+      "query (batch_size=%zu, scale=%d, reps=%d, backend=%s",
+      batch_size, scale, reps, disk ? "disk" : "mem");
+  if (disk) {
+    std::printf(", page_size=%zu, pool_pages=%zu", page_size, pool_pages);
+  }
+  std::printf(").\n\n");
+  double measured_io = 0;
 
   // --- IMDB: the fig10 lookup + publish and fig13 workload queries. -------
   {
@@ -216,7 +309,7 @@ int main(int argc, char** argv) {
     xml::Document doc = imdb::Generate(data_scale);
     xs::Schema config = ps::AllInlined(bench::AnnotatedImdb());
     auto mapping = bench::Unwrap(map::MapSchema(config), "map imdb");
-    store::Database db(mapping.catalog());
+    store::Database db(mapping.catalog(), storage);
     bench::Check(store::ShredDocument(doc, mapping, &db), "shred imdb");
     bench::Check(db.PrewarmIndexes(), "prewarm imdb");
 
@@ -230,7 +323,9 @@ int main(int argc, char** argv) {
                              "Q12", "Q13", "Q15", "Q16", "Q17"}) {
       queries.push_back({name, imdb::QueryText(name), params});
     }
-    RunDomain("imdb", mapping, &db, queries, batch_size, reps);
+    measured_io +=
+        RunDomain("imdb", mapping, &db, queries, cost_params, batch_size,
+                  reps);
   }
 
   // --- Auction: the bidding + export workload queries. --------------------
@@ -246,7 +341,7 @@ int main(int argc, char** argv) {
     xs::Schema config =
         ps::AllInlined(xs::AnnotateSchema(schema, collector.Finish()));
     auto mapping = bench::Unwrap(map::MapSchema(config), "map auction");
-    store::Database db(mapping.catalog());
+    store::Database db(mapping.catalog(), storage);
     bench::Check(store::ShredDocument(doc, mapping, &db), "shred auction");
     bench::Check(db.PrewarmIndexes(), "prewarm auction");
 
@@ -262,9 +357,17 @@ int main(int argc, char** argv) {
       }
       queries.push_back({name, auction::QueryText(name), params});
     }
-    RunDomain("auction", mapping, &db, queries, batch_size, reps);
+    measured_io +=
+        RunDomain("auction", mapping, &db, queries, cost_params, batch_size,
+                  reps);
   }
 
   if (!json_out.empty()) obs_session.WriteJson(json_out);
+  if (require_io && measured_io <= 0) {
+    std::fprintf(stderr,
+                 "--require-io: no IO was measured across the workloads "
+                 "(seeks + bytes == 0); storage counters are not wired up\n");
+    return 1;
+  }
   return 0;
 }

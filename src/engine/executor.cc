@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <unordered_map>
@@ -24,6 +25,7 @@ void ExecStats::Add(const ExecStats& other) {
   seeks += other.seeks;
   rows_out += other.rows_out;
   bytes_out += other.bytes_out;
+  bytes_spilled += other.bytes_spilled;
 }
 
 double OpActual::QError() const {
@@ -162,18 +164,22 @@ class Operator {
     if (!ctx_->timed) return Open();
     int64_t t0 = obs::NowNanos();
     double seeks0 = ctx_->stats->seeks;
+    double bytes0 = ctx_->stats->bytes_read;
     Status s = Open();
     ns_ += obs::NowNanos() - t0;
     seeks_ += ctx_->stats->seeks - seeks0;
+    bytes_ += ctx_->stats->bytes_read - bytes0;
     return s;
   }
   Status NextTimed(ColumnBatch* out) {
     if (!ctx_->timed) return Next(out);
     int64_t t0 = obs::NowNanos();
     double seeks0 = ctx_->stats->seeks;
+    double bytes0 = ctx_->stats->bytes_read;
     Status s = Next(out);
     ns_ += obs::NowNanos() - t0;
     seeks_ += ctx_->stats->seeks - seeks0;
+    bytes_ += ctx_->stats->bytes_read - bytes0;
     rows_ += static_cast<int64_t>(out->lanes);
     ++batches_;
     if (out->lanes > 0) {
@@ -190,6 +196,7 @@ class Operator {
   int64_t batches() const { return batches_; }
   int64_t vectors() const { return vectors_; }
   double seeks() const { return seeks_; }
+  double bytes() const { return bytes_; }
   double millis() const { return static_cast<double>(ns_) / 1e6; }
 
  protected:
@@ -211,6 +218,7 @@ class Operator {
   int64_t vectors_ = 0;
   int64_t ns_ = 0;
   double seeks_ = 0;
+  double bytes_ = 0;
 };
 
 // Shared filtering kernel for the two scan-shaped operators: runs the
@@ -263,14 +271,20 @@ class SeqScanOp : public Operator {
   Status Open() override {
     LEGODB_RETURN_IF_ERROR(filter_.Compile(*ctx_, node_));
     width_ = RowWidth(node_->rel);
-    stats().seeks += 1;
+    paged_ = ctx_->tables()[node_->rel]->paged();
+    // The memory backend keeps the modeled per-scan charge (one seek plus
+    // width bytes per row below) so its stats — and every golden built on
+    // them — are unchanged; the paged backend instead charges the page
+    // traffic its reads actually cause (pool faults, below).
+    if (!paged_) stats().seeks += 1;
     pos_ = 0;
     return Status::OK();
   }
 
   Status Next(ColumnBatch* out) override {
     out->Clear();
-    size_t total = ctx_->tables()[node_->rel]->row_count();
+    StoredTable* table = ctx_->tables()[node_->rel];
+    size_t total = table->row_count();
     std::vector<int32_t>& col = out->rels[node_->rel];
     // An empty batch signals end of stream, so keep scanning candidate
     // vectors until at least one row survives or the table is exhausted.
@@ -279,6 +293,12 @@ class SeqScanOp : public Operator {
     while (col.empty() && pos_ < total) {
       LEGODB_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       size_t take = std::min(ctx_->vector_size, total - pos_);
+      if (paged_) {
+        LEGODB_ASSIGN_OR_RETURN(store::TableIo io,
+                                table->FetchRowRange(pos_, pos_ + take));
+        stats().seeks += io.seeks;
+        stats().bytes_read += io.bytes;
+      }
       if (filter_.empty()) {
         col.resize(take);
         std::iota(col.begin(), col.end(), static_cast<int32_t>(pos_));
@@ -290,7 +310,7 @@ class SeqScanOp : public Operator {
       pos_ += take;
       CountInput(take);
       stats().tuples_processed += static_cast<double>(take);
-      stats().bytes_read += static_cast<double>(take) * width_;
+      if (!paged_) stats().bytes_read += static_cast<double>(take) * width_;
     }
     out->lanes = col.size();
     return Status::OK();
@@ -301,6 +321,7 @@ class SeqScanOp : public Operator {
   std::vector<int32_t> cand_;
   double width_ = 0;
   size_t pos_ = 0;
+  bool paged_ = false;
 };
 
 class IndexLookupOp : public Operator {
@@ -332,7 +353,8 @@ class IndexLookupOp : public Operator {
     }
     hits_ = &index->Find(key);
     width_ = RowWidth(node_->rel);
-    stats().seeks += 1;
+    paged_ = ctx_->tables()[node_->rel]->paged();
+    if (!paged_) stats().seeks += 1;  // modeled charge; see SeqScanOp::Open
     pos_ = 0;
     return Status::OK();
   }
@@ -351,15 +373,24 @@ class IndexLookupOp : public Operator {
         cand_[i] = static_cast<int32_t>((*hits_)[pos_ + i]);
       }
       pos_ += take;
+      if (paged_) {
+        LEGODB_ASSIGN_OR_RETURN(
+            store::TableIo io,
+            ctx_->tables()[node_->rel]->FetchRows(cand_.data(), take));
+        stats().seeks += io.seeks;
+        stats().bytes_read += io.bytes;
+      }
       if (filter_.empty()) {
         col.assign(cand_.begin(), cand_.end());
       } else {
         filter_.Apply(cand_.data(), take, &col);
       }
       CountInput(take);
-      stats().seeks += static_cast<double>(take);
       stats().tuples_processed += static_cast<double>(take);
-      stats().bytes_read += static_cast<double>(take) * width_;
+      if (!paged_) {
+        stats().seeks += static_cast<double>(take);
+        stats().bytes_read += static_cast<double>(take) * width_;
+      }
     }
     out->lanes = col.size();
     return Status::OK();
@@ -371,6 +402,7 @@ class IndexLookupOp : public Operator {
   const std::vector<size_t>* hits_ = nullptr;
   double width_ = 0;
   size_t pos_ = 0;
+  bool paged_ = false;
 };
 
 // Match-candidate plumbing shared by the two join operators: candidates are
@@ -423,6 +455,90 @@ struct JoinCandidates {
   }
 };
 
+// A hash-join build side's materialized row-index vectors, written out to
+// temp pager pages when they outgrow the spill threshold (a fraction of the
+// buffer pool — a build side that dwarfs the pool shouldn't also live on
+// the heap as if memory were free). Pages are allocated from and returned
+// to the database's pager but bypass the buffer pool: they are private to
+// this operator, so pool frames would only evict the shared working set.
+// Reads go through a one-page cache; each cache miss is a real pager read,
+// charged to the execution's seeks/bytes like any other page fault.
+class SpilledBuild {
+ public:
+  static StatusOr<std::unique_ptr<SpilledBuild>> Create(
+      store::Pager* pager, ExecStats* stats,
+      const std::vector<std::vector<int32_t>>& cols,
+      const std::vector<uint8_t>& bound) {
+    std::unique_ptr<SpilledBuild> s(new SpilledBuild(pager));
+    const size_t page_size = pager->page_size();
+    const size_t ipp = s->ipp_;
+    s->pages_.resize(cols.size());
+    std::vector<char> buf(page_size);
+    for (size_t r = 0; r < cols.size(); ++r) {
+      if (r < bound.size() && !bound[r]) continue;
+      const std::vector<int32_t>& col = cols[r];
+      for (size_t off = 0; off < col.size(); off += ipp) {
+        size_t n = std::min(ipp, col.size() - off);
+        std::memcpy(buf.data(), col.data() + off, n * sizeof(int32_t));
+        std::memset(buf.data() + n * sizeof(int32_t), 0,
+                    page_size - n * sizeof(int32_t));
+        LEGODB_ASSIGN_OR_RETURN(uint32_t page, pager->Allocate());
+        s->pages_[r].push_back(page);
+        Status st = pager->Write(page, buf.data());
+        if (!st.ok()) return st;  // dtor frees pages written so far
+        stats->bytes_spilled += static_cast<double>(page_size);
+      }
+    }
+    return s;
+  }
+
+  ~SpilledBuild() {
+    for (const auto& rel_pages : pages_) {
+      for (uint32_t page : rel_pages) pager_->Free(page);
+    }
+  }
+
+  // Gathers `ords[0..n)` of relation `rel` into `dst` (negative ordinals
+  // become kUnboundRow), charging cache-miss page reads to `stats`.
+  Status Gather(ExecStats* stats, size_t rel, const int32_t* ords, size_t n,
+                int32_t* dst) {
+    const size_t page_size = pager_->page_size();
+    for (size_t j = 0; j < n; ++j) {
+      int32_t o = ords[j];
+      if (o < 0) {
+        dst[j] = kUnboundRow;
+        continue;
+      }
+      uint32_t page = pages_[rel][static_cast<size_t>(o) / ipp_];
+      if (!cache_valid_ || page != cached_page_) {
+        LEGODB_RETURN_IF_ERROR(pager_->Read(page, buf_.data()));
+        cached_page_ = page;
+        cache_valid_ = true;
+        stats->seeks += 1;
+        stats->bytes_read += static_cast<double>(page_size);
+      }
+      std::memcpy(&dst[j],
+                  buf_.data() + (static_cast<size_t>(o) % ipp_) *
+                                    sizeof(int32_t),
+                  sizeof(int32_t));
+    }
+    return Status::OK();
+  }
+
+ private:
+  explicit SpilledBuild(store::Pager* pager)
+      : pager_(pager),
+        ipp_(pager->page_size() / sizeof(int32_t)),
+        buf_(pager->page_size()) {}
+
+  store::Pager* pager_;
+  size_t ipp_;  // int32 slots per page
+  std::vector<std::vector<uint32_t>> pages_;  // per relation
+  std::vector<char> buf_;  // one-page read cache
+  uint32_t cached_page_ = 0;
+  bool cache_valid_ = false;
+};
+
 // Hash join: materializes the build (right) side at open, then streams
 // probe batches through the hash table. Probe order is preserved and
 // matches per probe lane come in build order, so output order is identical
@@ -468,7 +584,11 @@ class HashJoinOp : public Operator {
 
     int build_rel = node_->right_join_rel;
     const opt::PhysicalPlan* b = node_->right.get();
-    if (!ctx_->timed && b && b->kind == opt::PhysicalPlan::Kind::kSeqScan &&
+    // The shared-index bypass charges the *modeled* build-side cost, so it
+    // only applies to memory tables: a paged build side must run the real
+    // scan (and pay its real page traffic).
+    if (!ctx_->timed && !ctx_->tables()[build_rel]->paged() && b &&
+        b->kind == opt::PhysicalPlan::Kind::kSeqScan &&
         b->rel == build_rel && b->filters.empty()) {
       if (prep != nullptr && prep->index != nullptr) {
         shared_index_ = prep->index;
@@ -520,6 +640,29 @@ class HashJoinOp : public Operator {
       }
     }
     stats().tuples_processed += static_cast<double>(count);
+
+    // Spill oversized build sides to temp pages (paged backend only): the
+    // hash table itself (ordinals) stays in memory, but the per-relation
+    // row-index vectors — the bulk of the materialization — move to disk.
+    store::Pager* pager = ctx_->tables()[build_rel]->pager();
+    if (pager != nullptr) {
+      size_t threshold = ctx_->e->options().spill_build_bytes;
+      if (threshold == 0) {
+        threshold = ctx_->tables()[build_rel]->pool()->capacity() *
+                    pager->page_size() / 4;
+      }
+      size_t build_bytes = 0;
+      for (const auto& c : build_cols_) build_bytes += c.size() * sizeof(int32_t);
+      if (threshold != std::numeric_limits<size_t>::max() &&
+          build_bytes > threshold) {
+        LEGODB_ASSIGN_OR_RETURN(
+            spill_, SpilledBuild::Create(pager, ctx_->stats, build_cols_,
+                                         build_bound_));
+        obs::Count("exec.hash_join.spills");
+        build_cols_.clear();
+        build_cols_.shrink_to_fit();
+      }
+    }
     return Status::OK();
   }
 
@@ -558,7 +701,7 @@ class HashJoinOp : public Operator {
 
       const uint8_t* mask = nullptr;
       if (!residuals_.empty() && !cand_.ord.empty()) {
-        EvalResiduals(build_rel);
+        LEGODB_RETURN_IF_ERROR(EvalResiduals(build_rel));
         mask = mask_.data();
       }
       cand_.EmitLanes(in_.lanes, mask, node_->left_outer);
@@ -574,6 +717,14 @@ class HashJoinOp : public Operator {
       }
       if (shared_index_) {
         out->rels[build_rel] = cand_.emit_ord;
+      } else if (spill_) {
+        for (size_t r = 0; r < build_bound_.size(); ++r) {
+          if (!build_bound_[r]) continue;
+          std::vector<int32_t>& dst = out->rels[r];
+          dst.resize(m);
+          LEGODB_RETURN_IF_ERROR(spill_->Gather(
+              ctx_->stats, r, cand_.emit_ord.data(), m, dst.data()));
+        }
       } else {
         for (size_t r = 0; r < build_bound_.size(); ++r) {
           if (!build_bound_[r]) continue;
@@ -595,7 +746,7 @@ class HashJoinOp : public Operator {
   // Materializes the candidate lanes the residual program reads (probe-side
   // columns gathered by candidate lane, build-side by candidate ordinal)
   // and evaluates it into mask_.
-  void EvalResiduals(int build_rel) {
+  Status EvalResiduals(int build_rel) {
     size_t c = cand_.ord.size();
     std::fill(relptrs_.begin(), relptrs_.end(), nullptr);
     for (size_t r = 0; r < in_.rels.size(); ++r) {
@@ -607,6 +758,15 @@ class HashJoinOp : public Operator {
     }
     if (shared_index_) {
       relptrs_[build_rel] = cand_.ord.data();
+    } else if (spill_) {
+      for (size_t r = 0; r < build_bound_.size(); ++r) {
+        if (!build_bound_[r]) continue;
+        gather_[r].resize(c);
+        LEGODB_RETURN_IF_ERROR(spill_->Gather(ctx_->stats, r,
+                                              cand_.ord.data(), c,
+                                              gather_[r].data()));
+        relptrs_[r] = gather_[r].data();
+      }
     } else {
       for (size_t r = 0; r < build_bound_.size(); ++r) {
         if (!build_bound_[r]) continue;
@@ -619,6 +779,7 @@ class HashJoinOp : public Operator {
     mask_.resize(c);
     residuals_.Eval(LaneView{relptrs_.data(), relptrs_.size(), c},
                     mask_.data());
+    return Status::OK();
   }
 
   std::unique_ptr<Operator> probe_;
@@ -627,6 +788,7 @@ class HashJoinOp : public Operator {
   const ColumnVector* probe_key_ = nullptr;
   ExprProgram residuals_;
   const HashIndex* shared_index_ = nullptr;  // fast path when non-null
+  std::unique_ptr<SpilledBuild> spill_;  // build cols on temp pages when set
   std::vector<std::vector<int32_t>> build_cols_;  // materialized build side
   std::vector<uint8_t> build_bound_;
   size_t build_count_ = 0;
@@ -665,6 +827,7 @@ class IndexNLJoinOp : public Operator {
           residuals_, CompileResiduals(ctx_->env, node_->residual_joins));
     }
     width_ = RowWidth(node_->rel);
+    paged_ = ctx_->tables()[node_->rel]->paged();
     in_.Init(ctx_->nrels());
     gather_.resize(ctx_->nrels());
     relptrs_.assign(ctx_->nrels(), nullptr);
@@ -682,17 +845,29 @@ class IndexNLJoinOp : public Operator {
 
       cand_.Reset(in_.lanes);
       const std::vector<int32_t>& orow = in_.rels[outer_rel];
-      stats().seeks += static_cast<double>(in_.lanes);
+      // Memory tables keep the modeled per-probe charges; paged tables are
+      // charged the page traffic the matched rows actually cause (below).
+      if (!paged_) stats().seeks += static_cast<double>(in_.lanes);
       for (size_t l = 0; l < in_.lanes; ++l) {
         int32_t r = orow.empty() ? kUnboundRow : orow[l];
         if (r >= 0 && !outer_key_->is_null(r)) {
           const std::vector<size_t>& hits = index_->Find(outer_key_->value(r));
-          stats().seeks += static_cast<double>(hits.size());
           stats().tuples_processed += static_cast<double>(hits.size());
-          stats().bytes_read += static_cast<double>(hits.size()) * width_;
+          if (!paged_) {
+            stats().seeks += static_cast<double>(hits.size());
+            stats().bytes_read += static_cast<double>(hits.size()) * width_;
+          }
           for (size_t idx : hits) cand_.Add(l, static_cast<int32_t>(idx));
         }
         cand_.CloseGroup(l);
+      }
+      if (paged_ && !cand_.ord.empty()) {
+        LEGODB_ASSIGN_OR_RETURN(
+            store::TableIo io,
+            ctx_->tables()[inner_rel]->FetchRows(cand_.ord.data(),
+                                                 cand_.ord.size()));
+        stats().seeks += io.seeks;
+        stats().bytes_read += io.bytes;
       }
 
       // Combined selection: inner residual filters AND residual join edges,
@@ -749,6 +924,7 @@ class IndexNLJoinOp : public Operator {
   const ColumnVector* outer_key_ = nullptr;
   const HashIndex* index_ = nullptr;
   double width_ = 0;
+  bool paged_ = false;
   ColumnBatch in_;
   JoinCandidates cand_;
   std::vector<std::vector<int32_t>> gather_;
@@ -869,6 +1045,11 @@ class BlockExecutor {
       if (!table) return Status::NotFound("table '" + rel.table + "'");
       ctx_.tables().push_back(table);
     }
+    // A prepared plan carries column/index pointers into table registries
+    // that any mutation invalidates; refuse to chase them once stale.
+    if (ctx_.prepared != nullptr) {
+      LEGODB_RETURN_IF_ERROR(ctx_.prepared->CheckFresh());
+    }
 
     std::vector<Operator*> preorder;
     std::vector<int> depths;
@@ -878,10 +1059,12 @@ class BlockExecutor {
 
     // Resolve projection targets once: a missing column projects NULL (the
     // outer-union publishing encoding relies on heterogeneous outputs).
+    // Values materialize from the column shadows, which both backends
+    // provide (paged tables have no rows() to address into).
     struct Output {
       int rel = -1;
       int col = -1;
-      const std::vector<Row>* rows = nullptr;
+      const ColumnVector* vec = nullptr;
     };
     std::vector<Output> outputs;
     outputs.reserve(block.output.size());
@@ -894,7 +1077,10 @@ class BlockExecutor {
       o.rel = out.rel;
       if (out.rel >= 0) {
         o.col = ctx_.tables()[out.rel]->meta().ColumnIndex(out.column);
-        o.rows = &ctx_.tables()[out.rel]->rows();
+        if (o.col >= 0) {
+          LEGODB_ASSIGN_OR_RETURN(
+              o.vec, ctx_.tables()[out.rel]->GetOrBuildColumn(out.column));
+        }
       }
       outputs.push_back(o);
     }
@@ -928,7 +1114,7 @@ class BlockExecutor {
               row.push_back(Value::MakeNull());
               continue;
             }
-            row.push_back((*o.rows)[r][o.col]);
+            row.push_back(o.vec->value(r));
           }
           for (const Value& v : row) e->stats_.bytes_out += v.ByteSize();
           e->stats_.rows_out += 1;
@@ -959,6 +1145,7 @@ class BlockExecutor {
       project.batches = root_batches;
       project.vectors = root_op->vectors();
       project.seeks = root_op->seeks();
+      project.bytes = root_op->bytes();
       project.ms = total_ms;
       project.depth = 0;
       e->profile_.ops.push_back(std::move(project));
@@ -974,6 +1161,7 @@ class BlockExecutor {
         actual.batches = op->batches();
         actual.vectors = op->vectors();
         actual.seeks = op->seeks();
+        actual.bytes = op->bytes();
         actual.ms = op->millis();
         actual.depth = depths[i];
         e->profile_.ops.push_back(std::move(actual));

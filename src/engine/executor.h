@@ -25,12 +25,16 @@ struct ExecStats {
   double seeks = 0;
   double rows_out = 0;
   double bytes_out = 0;
+  // Bytes written to temp pages by hash-join build sides that spilled under
+  // buffer-pool pressure (paged backend only).
+  double bytes_spilled = 0;
 
   // Work combined with the same weights as the optimizer's cost formula.
   double WeightedCost(double seek_cost, double read_per_byte,
                       double write_per_byte, double cpu_per_tuple) const {
     return seeks * seek_cost + bytes_read * read_per_byte +
-           bytes_out * write_per_byte + tuples_processed * cpu_per_tuple;
+           (bytes_out + bytes_spilled) * write_per_byte +
+           tuples_processed * cpu_per_tuple;
   }
 
   void Add(const ExecStats& other);
@@ -65,6 +69,11 @@ struct ExecOptions {
   // vector boundary with Status::Cancelled. Not owned; must outlive the
   // execution.
   const common::CancelToken* cancel = nullptr;
+  // Hash-join build sides larger than this many bytes spill their
+  // materialized row-index vectors to temp pages (paged backend only;
+  // memory tables never spill). 0 = automatic: a quarter of the buffer
+  // pool's capacity in bytes. SIZE_MAX disables spilling.
+  size_t spill_build_bytes = 0;
 
   // The lane count operators actually use.
   size_t EffectiveVectorSize() const {
@@ -84,6 +93,7 @@ struct OpActual {
   int64_t batches = 0;      // Next() calls answered (incl. the empty EOS)
   int64_t vectors = 0;      // column vectors produced across all batches
   double seeks = 0;         // inclusive index/scan probes (child ops incl.)
+  double bytes = 0;         // inclusive bytes read (child ops included)
   double ms = 0;            // inclusive wall time (child pulls included)
   int depth = 0;            // position in the operator tree (pre-order)
 

@@ -56,7 +56,7 @@ double SelfMillis(const ExecProfile& profile, size_t index) {
 
 std::string ExplainAnalyzeTable(const ExecProfile& profile) {
   TablePrinter table({"operator", "est_rows", "rows", "q-err", "batches",
-                      "vec", "sel", "seeks", "self_ms", "total_ms"});
+                      "vec", "sel", "seeks", "bytes", "self_ms", "total_ms"});
   for (size_t i = 0; i < profile.ops.size(); ++i) {
     const OpActual& op = profile.ops[i];
     std::string label(2 * static_cast<size_t>(op.depth), ' ');
@@ -65,6 +65,7 @@ std::string ExplainAnalyzeTable(const ExecProfile& profile) {
                   std::to_string(op.actual_rows), FormatDouble(op.QError(), 2),
                   std::to_string(op.batches), std::to_string(op.vectors),
                   FormatDouble(op.Selectivity(), 3), FormatDouble(op.seeks, 0),
+                  FormatDouble(op.bytes, 0),
                   FormatDouble(SelfMillis(profile, i), 3),
                   FormatDouble(op.ms, 3)});
   }
@@ -90,6 +91,7 @@ std::string ExplainAnalyzeJson(const ExecProfile& profile) {
            ", \"vectors\": " + std::to_string(op.vectors) +
            ", \"selectivity\": " + JsonNumber(op.Selectivity()) +
            ", \"seeks\": " + JsonNumber(op.seeks) +
+           ", \"bytes\": " + JsonNumber(op.bytes) +
            ", \"ms\": " + JsonNumber(op.ms) +
            ", \"self_ms\": " + JsonNumber(SelfMillis(profile, i)) + "}";
   }

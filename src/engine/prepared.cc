@@ -75,10 +75,31 @@ StatusOr<PreparedPrograms> PreparedPrograms::Compile(
       store::StoredTable* table = db->FindTable(rel.table);
       if (!table) return Status::NotFound("table '" + rel.table + "'");
       env.tables.push_back(table);
+      bool seen = false;
+      for (const auto& [t, version] : prepared.table_versions_) {
+        if (t == table) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        prepared.table_versions_.emplace_back(table, table->mutation_count());
+      }
     }
     LEGODB_RETURN_IF_ERROR(prepared.WalkPlan(env, block_plans[i]));
   }
   return prepared;
+}
+
+Status PreparedPrograms::CheckFresh() const {
+  for (const auto& [table, version] : table_versions_) {
+    if (table->mutation_count() != version) {
+      return Status::Internal("prepared plan is stale: table '" +
+                              table->meta().name +
+                              "' was mutated after prepare");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace legodb::engine

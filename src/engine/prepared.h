@@ -57,6 +57,13 @@ class PreparedPrograms {
     return it == by_node_.end() ? nullptr : &it->second;
   }
 
+  // OK while every table this plan touches still has the mutation count it
+  // had at Compile() time; Internal (naming the table) once any of them has
+  // been mutated since. The resolved ColumnVector/HashIndex pointers above
+  // dangle after a mutation clears the table registries, so the executor
+  // calls this before trusting them.
+  Status CheckFresh() const;
+
   store::Database* database() const { return db_; }
   size_t num_nodes() const { return by_node_.size(); }
 
@@ -65,6 +72,8 @@ class PreparedPrograms {
 
   store::Database* db_ = nullptr;
   std::map<const opt::PhysicalPlan*, NodePrograms> by_node_;
+  // (table, mutation count at compile time), deduplicated per table.
+  std::vector<std::pair<const store::StoredTable*, uint64_t>> table_versions_;
 };
 
 }  // namespace legodb::engine

@@ -31,6 +31,14 @@ class ReferenceBlockExecutor {
     for (const auto& rel : block_.rels) {
       StoredTable* table = e_->db_->FindTable(rel.table);
       if (!table) return Status::NotFound("table '" + rel.table + "'");
+      if (table->paged()) {
+        // The reference executor is deliberately row-at-a-time over heap
+        // rows; disk equivalence tests compare the paged engine against a
+        // memory database loaded from the same document instead.
+        return Status::Unsupported(
+            "reference executor requires the memory backend (table '" +
+            rel.table + "' is paged)");
+      }
       tables_.push_back(table);
     }
     LEGODB_ASSIGN_OR_RETURN(std::vector<Binding> bindings, Exec(plan->child));

@@ -29,6 +29,14 @@ struct CostParams {
   // Join-order search switches from dynamic programming to a greedy
   // heuristic above this many relations.
   int dp_rel_limit = 12;
+
+  // Storage page size in bytes for the paged backend; 0 models exact-byte
+  // sequential IO (the historical default — every golden cost is computed
+  // at 0). When set, scans seek once per page and read whole pages, and
+  // each index probe reads one page: the terms the disk backend's buffer
+  // pool actually measures, so estimated seeks/bytes become comparable to
+  // the pool's fault counters in bench/calibration.
+  double page_size = 0;
 };
 
 }  // namespace legodb::opt

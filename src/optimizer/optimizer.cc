@@ -18,6 +18,8 @@ struct Entry {
   double cost = kInf;
   double rows = 0;
   double width = 0;  // bytes per intermediate tuple
+  double seeks = 0;  // predicted seeks, inclusive of inputs
+  double bytes = 0;  // predicted bytes read, inclusive of inputs
   PhysicalPlanPtr plan;
 
   bool valid() const { return plan != nullptr; }
@@ -60,11 +62,39 @@ class BlockPlanner {
     root->est_rows = best.rows;
     root->est_cost = best.cost + best.rows * out_width * p_.write_per_byte +
                      best.rows * p_.cpu_per_tuple;
+    root->est_seeks = best.seeks;  // output writing adds no read IO
+    root->est_bytes = best.bytes;
     root->vectorized = true;
     return PlannedBlock{root, root->est_cost, root->est_rows};
   }
 
  private:
+  // ---- IO-term helpers ----
+  //
+  // At page_size == 0 (the historical default) these are identities that
+  // reproduce the exact-byte cost formulas every golden was computed with.
+  // At page_size > 0 they quantize the same terms to page granularity, the
+  // unit the paged backend's buffer pool measures.
+
+  // Bytes actually transferred to read `bytes` of payload.
+  double PagedBytes(double bytes) const {
+    if (p_.page_size <= 0) return bytes;
+    return std::ceil(bytes / p_.page_size) * p_.page_size;
+  }
+
+  // Seeks for a sequential scan over `bytes` of payload: the classic single
+  // positioning seek, or one pool fault per page on the paged backend.
+  double ScanSeeks(double bytes) const {
+    if (p_.page_size <= 0) return 1.0;
+    return std::max(1.0, std::ceil(bytes / p_.page_size));
+  }
+
+  // Bytes read to fetch one matched row of `width` via an index probe: the
+  // row itself, or the whole page holding it.
+  double ProbeBytes(double width) const {
+    return p_.page_size > 0 ? p_.page_size : width;
+  }
+
   // ---- statistics helpers ----
 
   const rel::Column* Col(int rel, const std::string& name) const {
@@ -210,15 +240,19 @@ class BlockPlanner {
 
     Entry best;
     {  // sequential scan
+      double seeks = ScanSeeks(base * width);
+      double bytes = PagedBytes(base * width);
       auto plan = std::make_shared<PhysicalPlan>();
       plan->kind = PhysicalPlan::Kind::kSeqScan;
       plan->rel = rel;
       plan->filters = filters;
       plan->est_rows = out_rows;
-      plan->est_cost = p_.seek_cost + base * width * p_.read_per_byte +
+      plan->est_cost = seeks * p_.seek_cost + bytes * p_.read_per_byte +
                        base * p_.cpu_per_tuple;
+      plan->est_seeks = seeks;
+      plan->est_bytes = bytes;
       plan->vectorized = true;
-      best = Entry{plan->est_cost, out_rows, width, plan};
+      best = Entry{plan->est_cost, out_rows, width, seeks, bytes, plan};
     }
     // Index lookup on the most selective indexed filter column (hash
     // indexes serve equality probes only).
@@ -228,9 +262,10 @@ class BlockPlanner {
         continue;
       }
       double matches = base * FilterSelectivity(f);
-      double cost = p_.index_probe_seeks * p_.seek_cost +
-                    matches * (p_.seek_cost + width * p_.read_per_byte +
-                               p_.cpu_per_tuple);
+      double seeks = p_.index_probe_seeks + matches;
+      double bytes = matches * ProbeBytes(width);
+      double cost = seeks * p_.seek_cost + bytes * p_.read_per_byte +
+                    matches * p_.cpu_per_tuple;
       if (cost < best.cost) {
         auto plan = std::make_shared<PhysicalPlan>();
         plan->kind = PhysicalPlan::Kind::kIndexLookup;
@@ -239,8 +274,10 @@ class BlockPlanner {
         plan->filters = filters;  // residuals re-checked cheaply
         plan->est_rows = out_rows;
         plan->est_cost = cost;
+        plan->est_seeks = seeks;
+        plan->est_bytes = bytes;
         plan->vectorized = true;
-        best = Entry{cost, out_rows, width, plan};
+        best = Entry{cost, out_rows, width, seeks, bytes, plan};
       }
     }
     return best;
@@ -287,6 +324,8 @@ class BlockPlanner {
                                   build.width * 0.0) +  // build
                     probe.rows * p_.cpu_per_probe +     // probe
                     out_rows * p_.cpu_per_tuple;
+      double seeks = probe.seeks + build.seeks;  // joins add CPU, not IO
+      double bytes = probe.bytes + build.bytes;
       if (cost < best.cost) {
         auto plan = std::make_shared<PhysicalPlan>();
         plan->kind = PhysicalPlan::Kind::kHashJoin;
@@ -307,8 +346,10 @@ class BlockPlanner {
         }
         plan->est_rows = out_rows;
         plan->est_cost = cost;
+        plan->est_seeks = seeks;
+        plan->est_bytes = bytes;
         plan->vectorized = true;
-        best = Entry{cost, out_rows, width, plan};
+        best = Entry{cost, out_rows, width, seeks, bytes, plan};
       }
     }
     // Index nested loops: inner side must be a single base relation with an
@@ -327,14 +368,14 @@ class BlockPlanner {
         double matches_per_probe =
             BaseRows(inner_rel) * (1.0 - ColNullFrac(inner_rel, inner_col)) /
             EffDistinctsBase(inner_rel, inner_col);
-        double cost =
-            a.cost +
-            a.rows * (p_.index_probe_seeks * p_.seek_cost +
-                      matches_per_probe *
-                          (p_.seek_cost + RowWidth(inner_rel) *
-                                              p_.read_per_byte +
-                           p_.cpu_per_tuple)) +
-            out_rows * p_.cpu_per_tuple;
+        double seeks_added =
+            a.rows * (p_.index_probe_seeks + matches_per_probe);
+        double bytes_added =
+            a.rows * matches_per_probe * ProbeBytes(RowWidth(inner_rel));
+        double cost = a.cost + seeks_added * p_.seek_cost +
+                      bytes_added * p_.read_per_byte +
+                      a.rows * matches_per_probe * p_.cpu_per_tuple +
+                      out_rows * p_.cpu_per_tuple;
         if (cost < best.cost) {
           auto plan = std::make_shared<PhysicalPlan>();
           plan->kind = PhysicalPlan::Kind::kIndexNLJoin;
@@ -354,8 +395,15 @@ class BlockPlanner {
           }
           plan->est_rows = out_rows;
           plan->est_cost = cost;
+          plan->est_seeks = a.seeks + seeks_added;
+          plan->est_bytes = a.bytes + bytes_added;
           plan->vectorized = true;
-          best = Entry{cost, out_rows, a.width + RowWidth(inner_rel), plan};
+          best = Entry{cost,
+                       out_rows,
+                       a.width + RowWidth(inner_rel),
+                       a.seeks + seeks_added,
+                       a.bytes + bytes_added,
+                       plan};
         }
       }
     }

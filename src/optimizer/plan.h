@@ -111,6 +111,12 @@ struct PhysicalPlan {
   // Estimates filled by the optimizer.
   double est_rows = 0;
   double est_cost = 0;
+  // Decomposed physical-IO estimates (inclusive of inputs, like est_cost):
+  // predicted seeks and bytes read. At CostParams::page_size > 0 these are
+  // page-granular and directly comparable to the buffer pool's measured
+  // fault traffic (bench/calibration correlates the two).
+  double est_seeks = 0;
+  double est_bytes = 0;
 
   // The executor runs this operator vector-at-a-time with compiled
   // predicate bytecode (see engine/expr_vm.h). Set by the optimizer for

@@ -93,7 +93,15 @@ StatusOr<MigrationReport> Migrator::RunPhases(
     const int64_t t0 = obs::NowNanos();
     LEGODB_FAILPOINT("migrate.shred");
     LEGODB_ASSIGN_OR_RETURN(*mapping, map::MapSchema(target));
-    shadow = std::make_shared<store::Database>(mapping->catalog());
+    // The shadow inherits the serving database's storage backend: a
+    // disk-backed deployment must not silently migrate onto the memory
+    // backend (or vice versa). It must NOT inherit a named pager path,
+    // though — two live pagers on one file would clobber each other — so
+    // the shadow always gets its own (anonymous) backing file.
+    store::StorageOptions shadow_storage = old_version->db->storage_options();
+    shadow_storage.path.clear();
+    shadow = std::make_shared<store::Database>(mapping->catalog(),
+                                               shadow_storage);
     LEGODB_RETURN_IF_ERROR(
         store::ShredDocument(*doc_, *mapping, shadow.get()));
     report.shred_ms = MillisSince(t0);

@@ -27,8 +27,31 @@ StatusOr<Response> ServeWithRetry(QueryServer* server,
                                   const RetryPolicy& policy,
                                   RetryStats* stats) {
   const int max_attempts = std::max(policy.max_attempts, 1);
+  // Resolve the wall-clock budget ONCE, before the first attempt. Serve()
+  // stamps its deadline from the time it is called, so passing the original
+  // request to every retry would restart the clock per attempt and a
+  // retried request could run arbitrarily past its budget. Instead the loop
+  // owns one absolute deadline and hands each attempt only what is left.
+  double budget_ms = request.budget_ms;
+  if (budget_ms < 0) budget_ms = server->options().request_budget_ms;
+  const uint64_t deadline_ns =
+      budget_ms > 0
+          ? obs::NowNanos() + static_cast<uint64_t>(budget_ms * 1e6)
+          : 0;
+  RequestOptions attempt_request = request;
   for (int attempt = 0;; ++attempt) {
-    StatusOr<Response> response = server->Serve(query_text, request);
+    if (deadline_ns != 0) {
+      uint64_t now = obs::NowNanos();
+      if (now >= deadline_ns) {
+        obs::Count("serving.retry.deadline");
+        return Status::DeadlineExceeded("retry budget exhausted after " +
+                                        std::to_string(attempt) +
+                                        " attempt(s)");
+      }
+      attempt_request.budget_ms =
+          static_cast<double>(deadline_ns - now) / 1e6;
+    }
+    StatusOr<Response> response = server->Serve(query_text, attempt_request);
     if (stats != nullptr) ++stats->attempts;
     if (response.ok() ||
         response.status().code() != Status::Code::kUnavailable ||
@@ -40,6 +63,20 @@ StatusOr<Response> ServeWithRetry(QueryServer* server,
       return response;
     }
     double backoff = BackoffMs(policy, attempt);
+    if (deadline_ns != 0) {
+      double remaining_ms =
+          (static_cast<double>(deadline_ns) -
+           static_cast<double>(obs::NowNanos())) /
+          1e6;
+      // Sleeping through the deadline only to be rejected on wake is a
+      // doomed retry; report the budget as exceeded instead of Unavailable.
+      if (remaining_ms <= backoff) {
+        obs::Count("serving.retry.deadline");
+        return Status::DeadlineExceeded(
+            "retry backoff would overrun the request budget (attempt " +
+            std::to_string(attempt + 1) + ")");
+      }
+    }
     obs::Count("serving.retry.attempt");
     obs::Observe("serving.retry.backoff_ms", backoff);
     if (stats != nullptr) {

@@ -20,6 +20,13 @@
 //
 // Every other status — including DeadlineExceeded and Cancelled, where the
 // caller explicitly gave up — returns immediately without retrying.
+//
+// The request's wall-clock budget is one absolute deadline across ALL
+// attempts: the loop resolves the budget (request override or server
+// default) once before the first Serve and passes each attempt only the
+// time remaining, so a retried request can never restart its clock. When
+// the next backoff would sleep through the deadline, the loop returns
+// DeadlineExceeded immediately instead of sleeping into a doomed retry.
 
 #include <cstdint>
 #include <string>

@@ -151,6 +151,9 @@ class QueryServer {
 
   PlanCache::Stats CacheStats() const { return cache_.GetStats(); }
   size_t inflight() const { return admission_.inflight(); }
+  // Direct admission-controller access so tests can occupy in-flight slots
+  // and exercise the Unavailable/retry path deterministically.
+  AdmissionController& admission_for_test() { return admission_; }
   const ServerOptions& options() const { return options_; }
   store::DbRegistry* registry() const { return registry_; }
 

@@ -1,0 +1,130 @@
+#ifndef LEGODB_STORAGE_BUFFER_POOL_H_
+#define LEGODB_STORAGE_BUFFER_POOL_H_
+
+// A pin-count buffer pool over a Pager: a bounded set of in-memory page
+// frames with LRU eviction of unpinned frames and write-back of dirty ones.
+//
+// Pin(page) returns a RAII PageGuard holding the frame's pin count; the
+// frame cannot be evicted while any guard on it lives (the invariant the
+// pager tests assert). A pin that has to read the page from disk is a
+// *fault* — the measurable unit of IO the cost model's seek/byte estimates
+// are validated against: every fault is one pager read of page_size bytes,
+// and PageGuard::faulted() lets callers charge exactly the IO their access
+// caused (the pool-wide counters aggregate across concurrent queries and
+// so cannot attribute).
+//
+// Thread-safe: one mutex guards the frame table; frame payloads are stable
+// heap blocks (pins outlive map rebalancing). Concurrent readers of one
+// page share the frame. Mutation (MarkDirty + writes into data()) is only
+// legal while loading is single-threaded, matching StoredTable's contract.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace legodb::store {
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;        // pins served from a resident frame
+    uint64_t faults = 0;      // pins that read the page from disk
+    uint64_t evictions = 0;   // frames dropped to make room
+    uint64_t bytes_read = 0;  // faults * page_size
+    uint64_t bytes_written = 0;  // write-back traffic (evictions + flushes)
+    size_t resident = 0;      // frames currently held
+    size_t pinned = 0;        // frames with at least one pin
+  };
+
+  // `capacity_pages` >= 1; the pool never holds more frames than that.
+  BufferPool(Pager* pager, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+    PageGuard& operator=(PageGuard&& other) noexcept;
+    ~PageGuard() { Release(); }
+
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+
+    bool valid() const { return frame_ != nullptr; }
+    uint32_t page_id() const { return page_; }
+    // True when this pin caused a disk read (a pool fault).
+    bool faulted() const { return faulted_; }
+
+    char* data();
+    const char* data() const;
+    // Marks the frame dirty: it is written back on eviction or FlushAll.
+    void MarkDirty();
+
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PageGuard(BufferPool* pool, void* frame, uint32_t page, bool faulted)
+        : pool_(pool), frame_(frame), page_(page), faulted_(faulted) {}
+
+    BufferPool* pool_ = nullptr;
+    void* frame_ = nullptr;
+    uint32_t page_ = 0;
+    bool faulted_ = false;
+  };
+
+  // Pins `page`, reading it from the pager if not resident. Fails with
+  // Unavailable when every frame is pinned (capacity exhausted), or with
+  // the pager's error when the fault's read — or an eviction's write-back —
+  // fails (the requested page is then *not* resident: clean recovery).
+  StatusOr<PageGuard> Pin(uint32_t page);
+
+  // Pins a freshly allocated page without reading it: the frame starts
+  // zeroed and dirty. For pages whose on-disk content is garbage.
+  StatusOr<PageGuard> PinNew(uint32_t page);
+
+  // Writes every dirty frame back (frames stay resident and clean).
+  Status FlushAll();
+
+  // Drops `page`'s frame without write-back (content is abandoned — used
+  // when the page itself is freed). No-op if not resident; the page must
+  // not be pinned.
+  void Discard(uint32_t page);
+
+  Stats stats() const;
+  size_t capacity() const { return capacity_; }
+  Pager* pager() const { return pager_; }
+
+ private:
+  struct Frame {
+    uint32_t page = 0;
+    std::unique_ptr<char[]> data;
+    int pins = 0;
+    bool dirty = false;
+    uint64_t last_use = 0;  // LRU tick
+  };
+
+  // All three run under mu_.
+  Status EvictOneLocked();
+  void Unpin(void* frame);
+  friend class PageGuard;
+
+  Pager* pager_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::map<uint32_t, std::unique_ptr<Frame>> frames_;
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace legodb::store
+
+#endif  // LEGODB_STORAGE_BUFFER_POOL_H_

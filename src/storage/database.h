@@ -13,10 +13,13 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "relational/catalog.h"
+#include "storage/backend.h"
 
 namespace legodb::store {
 
 using Row = std::vector<Value>;
+
+class ColumnVector;
 
 // An equality (hash) index over one column of a StoredTable. Immutable once
 // built — built under the table's registry lock and published as a const
@@ -25,6 +28,9 @@ using Row = std::vector<Value>;
 class HashIndex {
  public:
   HashIndex(const std::vector<Row>& rows, int column_index);
+  // Builds from a columnar shadow — the paged backend's path, where rows
+  // live on pages rather than in a Row vector.
+  explicit HashIndex(const ColumnVector& column);
 
   // Row indices whose indexed column equals `key`; empty vector when none.
   const std::vector<size_t>& Find(const Value& key) const {
@@ -49,11 +55,15 @@ class HashIndex {
 //  - ints(): the int64 payload, meaningful only when typed_int() — i.e.
 //    every non-null value in the column is an integer (catalog drift or
 //    mixed-kind data degrade gracefully to the generic view);
-//  - values(): a Value pointer per row (into the owning table's rows), the
-//    generic fallback for strings and mixed columns.
+//  - values(): a Value pointer per row — into the owning table's rows for
+//    the memory backend, or into this vector's own deserialized copies for
+//    the paged backend (the owning constructor).
 class ColumnVector {
  public:
   ColumnVector(const std::vector<Row>& rows, int column_index);
+  // Owning variant: takes the column's values by value (deserialized from
+  // pages) and keeps them alive inside the shadow itself.
+  explicit ColumnVector(std::vector<Value> owned);
 
   size_t size() const { return vals_.size(); }
   bool typed_int() const { return typed_int_; }
@@ -65,35 +75,97 @@ class ColumnVector {
   const Value* const* values() const { return vals_.data(); }
 
  private:
+  void Build();  // fills nulls_/ints_/vals_ from owned_
+
   bool typed_int_ = true;
+  std::vector<Value> owned_;  // paged backend only; empty otherwise
   std::vector<uint8_t> nulls_;
   std::vector<int64_t> ints_;
   std::vector<const Value*> vals_;
 };
 
-// An in-memory heap table with hash indexes, laid out per the catalog's
-// column order. Loading (Insert/RemoveLastRows) must be single-threaded and
-// finish before query serving starts; after that, any number of threads may
-// read rows and fetch/build indexes or column vectors concurrently — both
-// registries are internally synchronized, and published HashIndex /
-// ColumnVector pointers stay valid until the next mutation.
+// Page traffic attributable to one table access: how many buffer-pool
+// faults (seeks) it caused and how many bytes those faults read. The memory
+// backend always reports zeros — its "IO" stays the modeled per-row charge
+// the executor has always used.
+struct TableIo {
+  double seeks = 0;
+  double bytes = 0;
+};
+
+// A table laid out per the catalog's column order, with hash indexes and
+// columnar shadows. Two physical forms behind one interface:
+//
+//  - memory (backend == nullptr or MemoryBackend): rows in a heap
+//    std::vector<Row>, directly addressable via rows();
+//  - paged: rows serialized into fixed-size slotted pages behind the
+//    database's buffer pool; a RowLocator (page, slot) per row. rows() is
+//    then illegal — readers go through ReadRow()/column shadows, and charge
+//    real page traffic via FetchRowRange()/FetchRows().
+//
+// Loading (Insert/RemoveLastRows) must be single-threaded and finish before
+// query serving starts; after that, any number of threads may read rows and
+// fetch/build indexes or column vectors concurrently — both registries are
+// internally synchronized, and published HashIndex / ColumnVector pointers
+// stay valid until the next mutation. Every mutation bumps
+// mutation_count(), which prepared plans record and re-check at Open().
 class StoredTable {
  public:
   explicit StoredTable(rel::Table meta) : meta_(std::move(meta)) {}
+  StoredTable(rel::Table meta, StorageBackend* backend)
+      : meta_(std::move(meta)), backend_(backend) {}
   StoredTable(StoredTable&& other) noexcept
       : meta_(std::move(other.meta_)),
+        backend_(other.backend_),
         rows_(std::move(other.rows_)),
+        locators_(std::move(other.locators_)),
+        pages_(std::move(other.pages_)),
+        mutations_(other.mutations_.load(std::memory_order_relaxed)),
         indexes_(std::move(other.indexes_)),
         columns_(std::move(other.columns_)) {}
 
   const rel::Table& meta() const { return meta_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  size_t row_count() const { return rows_.size(); }
+  bool paged() const { return backend_ != nullptr && backend_->paged(); }
+  BufferPool* pool() const {
+    return backend_ == nullptr ? nullptr : backend_->pool();
+  }
+  Pager* pager() const {
+    return backend_ == nullptr ? nullptr : backend_->pager();
+  }
+
+  // Direct row access — memory backend only (aborts on a paged table; use
+  // ReadRow / column shadows there).
+  const std::vector<Row>& rows() const;
+  size_t row_count() const {
+    return paged() ? locators_.size() : rows_.size();
+  }
+
+  // Monotonic mutation counter: bumped by every Insert/RemoveLastRows.
+  // Prepared plans snapshot it and refuse to run when it has moved.
+  uint64_t mutation_count() const {
+    return mutations_.load(std::memory_order_acquire);
+  }
 
   // Appends a row; must have one value per column. Invalidates indexes and
-  // column vectors.
-  void Insert(Row row);
-  void RemoveLastRows(size_t n);  // shredder rollback support
+  // column vectors. On the paged backend this serializes the row into the
+  // tail slotted page (allocating a fresh page when it does not fit) and
+  // can fail on real IO — memory inserts always succeed.
+  Status Insert(Row row);
+  // Removes the n most recently inserted rows (shredder rollback support).
+  Status RemoveLastRows(size_t n);
+
+  // Materializes row `i` as a Row (copy). Works on both backends; the paged
+  // read pins the row's page (IO charged to the pool, not attributed — use
+  // FetchRows for attribution).
+  StatusOr<Row> ReadRow(size_t i) const;
+
+  // Touches the pages holding rows [begin, end) in order, returning the
+  // page traffic this call actually caused (pool faults only — resident
+  // pages are free). The sequential-scan IO path.
+  StatusOr<TableIo> FetchRowRange(size_t begin, size_t end) const;
+  // Same for an explicit row-index list (negative entries are skipped —
+  // they are unbound lanes). The index-probe IO path.
+  StatusOr<TableIo> FetchRows(const int32_t* rows, size_t n) const;
 
   // Returns the index on `column`, building it on first use (thread-safe).
   // Internal error when the column does not exist in this table.
@@ -113,8 +185,29 @@ class StoredTable {
                                    const Value& key) const;
 
  private:
+  struct RowLocator {
+    uint32_t page = 0;
+    uint16_t slot = 0;
+  };
+
+  // Paged-backend internals (all assume paged()).
+  Status InsertPaged(const Row& row);
+  StatusOr<Row> ReadRowPaged(size_t i) const;
+  StatusOr<const ColumnVector*> GetOrBuildColumnLocked(
+      const std::string& column);
+
   rel::Table meta_;
-  std::vector<Row> rows_;
+  StorageBackend* backend_ = nullptr;  // owned by the Database
+
+  std::vector<Row> rows_;  // memory backend only
+
+  // Paged backend: one locator per row, plus the owned pages in order (the
+  // tail page is the insertion target).
+  std::vector<RowLocator> locators_;
+  std::vector<uint32_t> pages_;
+
+  std::atomic<uint64_t> mutations_{0};
+
   mutable std::mutex index_mu_;
   std::map<std::string, std::unique_ptr<HashIndex>> indexes_;
   std::map<std::string, std::unique_ptr<ColumnVector>> columns_;
@@ -123,14 +216,30 @@ class StoredTable {
 // A relational database instance for one storage configuration.
 class Database {
  public:
-  // Creates empty tables for every table in the catalog.
-  explicit Database(const rel::Catalog& catalog);
+  // Creates empty tables for every table in the catalog, on the storage
+  // backend `options` describes (in-memory heap tables by default). A paged
+  // backend that cannot create its backing file aborts — callers wanting to
+  // handle that probe with PagedBackend::Open first.
+  explicit Database(const rel::Catalog& catalog,
+                    StorageOptions options = StorageOptions());
 
   // Movable (the atomic id counter would otherwise delete the default);
   // move only while single-threaded, i.e. before serving starts.
   Database(Database&& other) noexcept
-      : tables_(std::move(other.tables_)),
+      : options_(std::move(other.options_)),
+        backend_(std::move(other.backend_)),
+        tables_(std::move(other.tables_)),
         next_id_(other.next_id_.load(std::memory_order_relaxed)) {}
+
+  const StorageOptions& storage_options() const { return options_; }
+  bool paged() const { return backend_->paged(); }
+  // Paged machinery, for metrics and spill paths (nullptr on memory).
+  BufferPool* buffer_pool() const { return backend_->pool(); }
+  Pager* pager() const { return backend_->pager(); }
+
+  // Write-back + durability barrier (no-op for the memory backend). Called
+  // by the shredder after loading.
+  Status Flush() { return backend_->Flush(); }
 
   StoredTable* FindTable(const std::string& name);
   const StoredTable* FindTable(const std::string& name) const;
@@ -161,6 +270,10 @@ class Database {
   std::vector<std::string> table_names() const;
 
  private:
+  StorageOptions options_;
+  // Declared before tables_: StoredTables point into the backend, so it
+  // must be destroyed after them.
+  std::unique_ptr<StorageBackend> backend_;
   std::map<std::string, StoredTable> tables_;
   std::atomic<int64_t> next_id_{1};
 };

@@ -1,0 +1,137 @@
+#include "storage/pager.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+#include "obs/obs.h"
+
+namespace legodb::store {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Pager>> Pager::Open(const Options& options) {
+  if (options.page_size < 512 || options.page_size > 65536) {
+    return Status::InvalidArgument(
+        "pager page_size must be in [512, 65536], got " +
+        std::to_string(options.page_size));
+  }
+  int fd = -1;
+  std::string path = options.path;
+  bool unlink_on_close = false;
+  if (path.empty()) {
+    // Anonymous temp file: created, then unlinked immediately so the fd is
+    // the only reference and the kernel reclaims it on close/crash.
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string tmpl = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                       "/legodb_pager_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    fd = mkstemp(buf.data());
+    if (fd < 0) return Status::Internal(ErrnoMessage("mkstemp"));
+    ::unlink(buf.data());
+  } else {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::Internal(ErrnoMessage(("open " + path).c_str()));
+    }
+  }
+  return std::unique_ptr<Pager>(
+      new Pager(fd, std::move(path), unlink_on_close, options.page_size));
+}
+
+Pager::~Pager() {
+  if (fd_ >= 0) ::close(fd_);
+  if (unlink_on_close_ && !path_.empty()) ::unlink(path_.c_str());
+}
+
+uint32_t Pager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_count_;
+}
+
+StatusOr<uint32_t> Pager::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_list_.empty()) {
+    uint32_t page = free_list_.back();
+    free_list_.pop_back();
+    return page;
+  }
+  uint32_t page = page_count_;
+  // Extend the file so a read of a never-written page sees zeros instead
+  // of a short read.
+  if (::ftruncate(fd_, static_cast<off_t>(page_count_ + 1) *
+                           static_cast<off_t>(page_size_)) != 0) {
+    return Status::Internal(ErrnoMessage("ftruncate"));
+  }
+  ++page_count_;
+  return page;
+}
+
+void Pager::Free(uint32_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_list_.push_back(page);
+}
+
+Status Pager::Read(uint32_t page, char* buf) {
+  LEGODB_FAILPOINT("storage.read");
+  ssize_t n = ::pread(fd_, buf, page_size_,
+                      static_cast<off_t>(page) * static_cast<off_t>(page_size_));
+  if (n < 0) return Status::Internal(ErrnoMessage("pread"));
+  if (static_cast<size_t>(n) != page_size_) {
+    return Status::Internal("short read: page " + std::to_string(page) +
+                            " returned " + std::to_string(n) + " of " +
+                            std::to_string(page_size_) + " bytes");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.pages_read;
+  }
+  obs::Count("storage.pager.reads");
+  return Status::OK();
+}
+
+Status Pager::Write(uint32_t page, const char* data) {
+  LEGODB_FAILPOINT("storage.write");
+  ssize_t n = ::pwrite(fd_, data, page_size_,
+                       static_cast<off_t>(page) * static_cast<off_t>(page_size_));
+  if (n < 0) return Status::Internal(ErrnoMessage("pwrite"));
+  if (static_cast<size_t>(n) != page_size_) {
+    return Status::Internal("partial write: page " + std::to_string(page) +
+                            " wrote " + std::to_string(n) + " of " +
+                            std::to_string(page_size_) + " bytes");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.pages_written;
+  }
+  obs::Count("storage.pager.writes");
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  LEGODB_FAILPOINT("storage.flush");
+  if (::fsync(fd_) != 0) return Status::Internal(ErrnoMessage("fsync"));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.syncs;
+  }
+  return Status::OK();
+}
+
+Pager::Stats Pager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace legodb::store

@@ -1,0 +1,93 @@
+#ifndef LEGODB_STORAGE_PAGER_H_
+#define LEGODB_STORAGE_PAGER_H_
+
+// Page-granular file IO for the paged storage backend.
+//
+// A Pager owns one backing file and hands out fixed-size pages by number.
+// Reads and writes are positional (pread/pwrite), so any number of threads
+// may move pages concurrently as long as they touch distinct pages — the
+// buffer pool above serializes access per page, and the hash-join spill
+// path writes pages it exclusively owns. Allocation keeps an in-memory
+// free list (freed pages are recycled before the file grows), guarded by a
+// mutex.
+//
+// When no path is given the pager creates an anonymous temp file (mkstemp
+// + immediate unlink), so paged databases leave nothing behind on exit —
+// the right default for a store whose durability story is "flush at the
+// end of loading", not crash recovery.
+//
+// Failpoint sites (see common/failpoint.h): `storage.read`,
+// `storage.write`, `storage.flush` fire on the corresponding operation,
+// standing in for short reads, partial writes and fsync failures.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace legodb::store {
+
+class Pager {
+ public:
+  struct Options {
+    std::string path;        // empty = anonymous temp file
+    size_t page_size = 8192; // bytes per page; must fit slotted u16 offsets
+  };
+
+  // Creates (or truncates) the backing file. Fails if the file cannot be
+  // created or the page size is out of range (512 .. 65536).
+  static StatusOr<std::unique_ptr<Pager>> Open(const Options& options);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  size_t page_size() const { return page_size_; }
+  // Pages ever allocated (including currently free ones).
+  uint32_t page_count() const;
+
+  // Returns a zeroed page number: a recycled freed page if one exists,
+  // otherwise the file grows by one page.
+  StatusOr<uint32_t> Allocate();
+  // Returns `page` to the free list (no IO; content becomes garbage).
+  void Free(uint32_t page);
+
+  // Reads/writes exactly one page. `buf`/`data` must hold page_size bytes.
+  Status Read(uint32_t page, char* buf);
+  Status Write(uint32_t page, const char* data);
+
+  // Durability barrier (fsync). `storage.flush` failpoint site.
+  Status Sync();
+
+  // Lifetime IO counters (relaxed; for gauges and tests).
+  struct Stats {
+    uint64_t pages_read = 0;
+    uint64_t pages_written = 0;
+    uint64_t syncs = 0;
+  };
+  Stats stats() const;
+
+ private:
+  Pager(int fd, std::string path, bool unlink_on_close, size_t page_size)
+      : fd_(fd),
+        path_(std::move(path)),
+        unlink_on_close_(unlink_on_close),
+        page_size_(page_size) {}
+
+  int fd_ = -1;
+  std::string path_;
+  bool unlink_on_close_ = false;
+  size_t page_size_ = 0;
+
+  mutable std::mutex mu_;  // guards allocation state and counters
+  uint32_t page_count_ = 0;
+  std::vector<uint32_t> free_list_;
+  Stats stats_;
+};
+
+}  // namespace legodb::store
+
+#endif  // LEGODB_STORAGE_PAGER_H_

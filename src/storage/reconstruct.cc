@@ -26,7 +26,9 @@ class Reconstructor {
                               type_name + "'");
     }
     StoredTable& table = db_->GetTable(tm->table);
-    const Row& row = table.rows()[row_idx];
+    // Materialize the row once per instance — on the paged backend this is
+    // the only way at it (rows live on slotted pages, not in a Row vector).
+    LEGODB_ASSIGN_OR_RETURN(Row row, table.ReadRow(row_idx));
     int key_idx = table.meta().ColumnIndex(table.meta().key_column);
     Ctx ctx;
     ctx.tm = tm;
@@ -127,10 +129,11 @@ class Reconstructor {
     const std::vector<size_t>* hits =
         table.Probe(fk, Value::Int(ctx.self_id));
     if (!hits) return;
-    int key_idx = table.meta().ColumnIndex(table.meta().key_column);
+    StatusOr<const ColumnVector*> keys =
+        table.GetOrBuildColumn(table.meta().key_column);
+    if (!keys.ok()) return;  // best-effort: no children on IO failure
     for (size_t idx : *hits) {
-      out->push_back(
-          ChildRow{table.rows()[idx][key_idx].as_int(), ref_type, idx});
+      out->push_back(ChildRow{(*keys)->value(idx).as_int(), ref_type, idx});
     }
   }
 
@@ -245,17 +248,18 @@ StatusOr<xml::Document> ReconstructDocument(Database* db,
   if (!tm || tm->virtual_union) {
     return Status::Unsupported("virtual root type");
   }
-  const StoredTable& table = db->GetTable(tm->table);
+  StoredTable& table = db->GetTable(tm->table);
   if (table.row_count() == 0) {
     return Status::NotFound("no root instance stored");
   }
   // The document root has the smallest node id (the shredder assigns ids in
   // document order; buffered insert order differs for recursive types).
-  int key_idx = table.meta().ColumnIndex(table.meta().key_column);
+  LEGODB_ASSIGN_OR_RETURN(const ColumnVector* keys,
+                          table.GetOrBuildColumn(table.meta().key_column));
   size_t root_idx = 0;
-  int64_t best_id = table.rows()[0][key_idx].as_int();
+  int64_t best_id = keys->value(0).as_int();
   for (size_t i = 1; i < table.row_count(); ++i) {
-    int64_t id = table.rows()[i][key_idx].as_int();
+    int64_t id = keys->value(i).as_int();
     if (id < best_id) {
       best_id = id;
       root_idx = i;

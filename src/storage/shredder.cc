@@ -32,10 +32,21 @@ class Shredder {
       return Status::InvalidArgument(
           "document does not match the physical schema");
     }
-    // Success: apply buffered inserts.
+    // Success: apply buffered inserts. On the paged backend an insert can
+    // fail with real IO errors — roll back the rows already applied (LIFO
+    // per table, which RemoveLastRows requires) so a failed document leaves
+    // the database exactly as it found it.
     obs::Count("shred.rows", static_cast<int64_t>(buffer_.size()));
-    for (auto& pending : buffer_) {
-      db_->GetTable(pending.table).Insert(std::move(pending.row));
+    for (size_t i = 0; i < buffer_.size(); ++i) {
+      Status st = db_->GetTable(buffer_[i].table).Insert(
+          std::move(buffer_[i].row));
+      if (!st.ok()) {
+        for (size_t k = i; k-- > 0;) {
+          (void)db_->GetTable(buffer_[k].table).RemoveLastRows(1);
+        }
+        buffer_.clear();
+        return st;
+      }
     }
     buffer_.clear();
     return Status::OK();
@@ -313,7 +324,10 @@ Status ShredDocument(const xml::Document& doc, const map::Mapping& mapping,
   LEGODB_FAILPOINT("shredder.document");
   obs::Span span("shred.document");
   obs::Count("shred.documents");
-  return Shredder(mapping, db).Shred(doc);
+  LEGODB_RETURN_IF_ERROR(Shredder(mapping, db).Shred(doc));
+  // Write-back + durability barrier; no-op on the memory backend. This is
+  // where the `storage.flush` failpoint surfaces to loaders.
+  return db->Flush();
 }
 
 }  // namespace legodb::store

@@ -106,6 +106,19 @@ class ExecutorEquivalenceTest : public ::testing::Test {
     return db;
   }
 
+  // Same document on the paged backend, with a pool small enough that the
+  // workload actually faults and evicts (the reference executor only runs
+  // on memory tables, so disk tests compare against a separate memory
+  // database shredded from the same document).
+  std::unique_ptr<store::Database> FreshDiskDatabase() {
+    auto db = std::make_unique<store::Database>(
+        mapping_->catalog(),
+        store::StorageOptions::Paged(/*page_size=*/1024, /*pool_pages=*/4));
+    EXPECT_TRUE(store::ShredDocument(*doc_, *mapping_, db.get()).ok());
+    EXPECT_TRUE(db->paged());
+    return db;
+  }
+
   static std::map<std::string, Value> Params() {
     return {{"c1", Value::Str("title1")},
             {"c2", Value::Str("title2")},
@@ -265,6 +278,123 @@ TEST_F(ExecutorEquivalenceTest, PrewarmedConcurrentServing) {
           return;
         }
         if (!(expected[i].rows == actual->rows)) {
+          failures[t] = p.name + ": result mismatch";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty())
+        << "thread " << t << ": " << failures[t];
+  }
+}
+
+// The tentpole's gate: the paged backend must return bit-identical results
+// to the memory backend (and hence to the reference executor) across batch
+// sizes, with a pool far smaller than the data so faults and evictions are
+// on the hot path.
+TEST_F(ExecutorEquivalenceTest, DiskBackendBitIdenticalToMemory) {
+  auto mem_db = FreshDatabase();
+  std::vector<xq::ResultSet> expected = ReferenceResults(mem_db.get());
+  auto disk_db = FreshDiskDatabase();
+  for (size_t batch_size : {size_t{1}, size_t{64}, size_t{1024}}) {
+    engine::ExecOptions options;
+    options.batch_size = batch_size;
+    for (size_t i = 0; i < prepared_->size(); ++i) {
+      const PreparedQuery& p = (*prepared_)[i];
+      engine::Executor exec(disk_db.get(), Params(), options);
+      auto actual = exec.ExecuteQuery(p.rq, p.plans);
+      ASSERT_TRUE(actual.ok()) << p.name << ": "
+                               << actual.status().ToString();
+      ExpectIdentical(expected[i], actual.value(),
+                      p.name + " on disk at batch_size=" +
+                          std::to_string(batch_size));
+    }
+  }
+  // The workload drove real page traffic through the pool.
+  store::BufferPool::Stats stats = disk_db->buffer_pool()->stats();
+  EXPECT_GT(stats.faults, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+// Measured IO on the paged backend is real: ExecStats seeks/bytes must come
+// from buffer-pool faults, move when the pool is cold vs warm, and be zero
+// only when everything is resident.
+TEST_F(ExecutorEquivalenceTest, DiskExecStatsReflectPoolFaults) {
+  auto disk_db = FreshDiskDatabase();
+  // Prewarm indexes and column shadows: their lazy builds scan pages, and
+  // that traffic belongs to warmup, not to the query being measured.
+  ASSERT_TRUE(disk_db->PrewarmIndexes().ok());
+  ASSERT_TRUE(disk_db->PrewarmColumns().ok());
+  const PreparedQuery* scan = nullptr;
+  for (const PreparedQuery& p : *prepared_) {
+    if (p.name == "Q16") scan = &p;  // publish: scans every table
+  }
+  ASSERT_NE(scan, nullptr);
+  uint64_t faults_before = disk_db->buffer_pool()->stats().faults;
+  engine::Executor exec(disk_db.get(), Params());
+  auto r = exec.ExecuteQuery(scan->rq, scan->plans);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  uint64_t fault_delta =
+      disk_db->buffer_pool()->stats().faults - faults_before;
+  EXPECT_GT(exec.stats().seeks, 0.0);
+  EXPECT_GT(fault_delta, 0u);
+  // Every charged seek is a pool fault of one whole page.
+  EXPECT_EQ(exec.stats().seeks, static_cast<double>(fault_delta));
+  EXPECT_EQ(exec.stats().bytes_read, exec.stats().seeks * 1024);
+}
+
+// Forcing the hash-join build side to spill to temp pages must not change
+// results.
+TEST_F(ExecutorEquivalenceTest, DiskSpilledJoinsBitIdentical) {
+  auto mem_db = FreshDatabase();
+  std::vector<xq::ResultSet> expected = ReferenceResults(mem_db.get());
+  auto disk_db = FreshDiskDatabase();
+  engine::ExecOptions options;
+  options.spill_build_bytes = 1;  // every build side spills
+  bool spilled = false;
+  for (size_t i = 0; i < prepared_->size(); ++i) {
+    const PreparedQuery& p = (*prepared_)[i];
+    engine::Executor exec(disk_db.get(), Params(), options);
+    auto actual = exec.ExecuteQuery(p.rq, p.plans);
+    ASSERT_TRUE(actual.ok()) << p.name << ": " << actual.status().ToString();
+    ExpectIdentical(expected[i], actual.value(), p.name + " spilled");
+    spilled |= exec.stats().bytes_spilled > 0;
+  }
+  EXPECT_TRUE(spilled);  // at least one join actually took the spill path
+}
+
+// Concurrent serving over one paged database: pin/unpin and the shared
+// pool must stay consistent while eight executors fault pages in and out.
+TEST_F(ExecutorEquivalenceTest, ConcurrentDiskServingIsBitIdentical) {
+  auto mem_db = FreshDatabase();
+  std::vector<xq::ResultSet> expected = ReferenceResults(mem_db.get());
+  auto disk_db = std::make_unique<store::Database>(
+      mapping_->catalog(),
+      store::StorageOptions::Paged(/*page_size=*/1024, /*pool_pages=*/16));
+  ASSERT_TRUE(store::ShredDocument(*doc_, *mapping_, disk_db.get()).ok());
+  ASSERT_TRUE(disk_db->PrewarmIndexes().ok());
+
+  constexpr int kThreads = 8;
+  const size_t batch_sizes[kThreads] = {1, 64, 4096, 1024, 7, 256, 2, 512};
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      engine::ExecOptions options;
+      options.batch_size = batch_sizes[t];
+      for (size_t i = 0; i < prepared_->size(); ++i) {
+        const PreparedQuery& p = (*prepared_)[i];
+        engine::Executor exec(disk_db.get(), Params(), options);
+        auto actual = exec.ExecuteQuery(p.rq, p.plans);
+        if (!actual.ok()) {
+          failures[t] = p.name + ": " + actual.status().ToString();
+          return;
+        }
+        if (!(expected[i].rows == actual->rows) ||
+            expected[i].labels != actual->labels) {
           failures[t] = p.name + ": result mismatch";
           return;
         }

@@ -535,6 +535,78 @@ TEST_F(ServingTest, ServeWithRetryPassesThroughTerminalOutcomes) {
   EXPECT_EQ(stats.retries, 0);
 }
 
+TEST_F(ServingTest, ServeWithRetryHonorsOneAbsoluteDeadline) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  auto server = MakeServer(options);
+  const std::string q = "FOR $v IN document(\"d\")/p/c RETURN $v/name";
+  ASSERT_TRUE(server->Serve(q).ok());  // warm the cache serially
+
+  // Occupy the only admission slot for the whole test so every attempt is
+  // shed with Unavailable — the retryable outcome.
+  ASSERT_TRUE(server->admission_for_test().TryAdmit());
+
+  // The budget, not the attempt count, must stop the loop. The old loop
+  // re-derived the deadline from budget_ms on every attempt (restarting the
+  // clock) and slept full backoffs even when the budget could not survive
+  // them, so this configuration retried for minutes.
+  RetryPolicy policy;
+  policy.max_attempts = 1000000;
+  policy.initial_backoff_ms = 5.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 1000.0;
+  RetryStats stats;
+  RequestOptions request;
+  request.budget_ms = 20;  // one absolute deadline across ALL attempts
+  int64_t start_ns = obs::NowNanos();
+  auto response = ServeWithRetry(server.get(), q, request, policy, &stats);
+  double elapsed_ms = (obs::NowNanos() - start_ns) / 1e6;
+  server->admission_for_test().Release();
+
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kDeadlineExceeded);
+  // Generous wall-clock bound: the 20 ms budget plus scheduler slack. The
+  // broken loop needed max_attempts * backoff, far beyond this.
+  EXPECT_LT(elapsed_ms, 2000.0);
+  // The loop never sleeps past the deadline, so total backoff stays under
+  // the budget (jitter included).
+  EXPECT_LT(stats.backoff_ms, 40.0);
+  EXPECT_GE(stats.attempts, 1);
+
+  // With the slot free again the same request succeeds within its budget.
+  auto ok = ServeWithRetry(server.get(), q, request, policy, &stats);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(ServingTest, PreparedPlanStalenessIsDetectedAfterTableMutation) {
+  auto server = MakeServer();
+  const std::string q =
+      "FOR $v IN document(\"d\")/p/c WHERE $v/name = \"n7\" RETURN $v/size";
+  ASSERT_TRUE(server->Serve(q).ok());  // compiles + caches the prepared plan
+
+  // Mutate the backing table out from under the cached prepared programs:
+  // Insert clears the index/column registries, dangling the resolved
+  // pointers the prepared state holds.
+  store::StoredTable& table = db_->GetTable("C");
+  auto row = table.ReadRow(0);
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(table.Insert(std::move(row).value()).ok());
+
+  // The executor must refuse the stale prepared state (naming the table)
+  // instead of chasing freed pointers.
+  auto response = server->Serve(q);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), Status::Code::kInternal);
+  EXPECT_NE(
+      response.status().message().find("prepared plan is stale: table 'C'"),
+      std::string::npos)
+      << response.status().ToString();
+
+  // A fresh prepare against the mutated table serves normally.
+  auto fresh = MakeServer();
+  EXPECT_TRUE(fresh->Serve(q).ok());
+}
+
 // --- Deadlines and cancellation during execution ---------------------------
 
 // A table large enough that a vector-at-a-time scan takes comfortably

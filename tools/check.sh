@@ -28,6 +28,13 @@
 #                                            # migrations with failpoints)
 #                                            # plus serving_test and the
 #                                            # registry/drain storage suites
+#   tools/check.sh --disk                    # ASan/UBSan build of the paged
+#                                            # storage backend: pager/buffer-
+#                                            # pool suites, disk-vs-memory
+#                                            # bit-identity gates, serving on
+#                                            # disk, then a disk calibration
+#                                            # smoke that must observe real
+#                                            # buffer-pool IO (--require-io)
 #
 # --tsan builds into build-tsan with -DLEGODB_SANITIZE=thread and runs the
 # tests exercising the parallel search (search_test, plus the transform and
@@ -136,6 +143,28 @@ if [[ "${1:-}" == "--serving" ]]; then
   ./build-serving/tools/bench_report compare BENCH_results.json \
     build-serving/BENCH_results.json
   echo "serving checks passed; report in build-serving/BENCH_results.json"
+  exit 0
+fi
+
+# --disk: the disk-backed storage path under address+undefined sanitizers.
+# Builds the pager/buffer-pool suite, the storage suite, the disk-vs-memory
+# bit-identity gates in engine_equivalence_test (including forced hash-join
+# spills and 8-thread concurrent serving on a paged database), and
+# serving_test into build-disk; then runs the calibration bench on the disk
+# backend with a deliberately small pool so estimates are checked against
+# *real* buffer-pool faults — --require-io makes the run fail if no page
+# traffic was measured (i.e. if the backend silently fell back to memory).
+if [[ "${1:-}" == "--disk" ]]; then
+  shift
+  cmake -B build-disk -S . -DLEGODB_SANITIZE=address,undefined "$@"
+  cmake --build build-disk -j"$(nproc)" --target \
+    pager_test storage_test engine_equivalence_test serving_test calibration
+  ctest --test-dir build-disk --output-on-failure -j"$(nproc)" \
+    -R 'pager_test|storage_test|engine_equivalence_test|serving_test'
+  ./build-disk/bench/calibration --reps=2 --backend=disk --pool-pages=8 \
+    --page-size=1024 --require-io build-disk/BENCH_calibration_disk.json \
+    > /dev/null
+  echo "disk backend checks passed; calibration in build-disk/BENCH_calibration_disk.json"
   exit 0
 fi
 

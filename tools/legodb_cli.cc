@@ -9,6 +9,7 @@
 //          [--failpoints SPEC] [--explain] [--explain-search]
 //          [--explain-analyze] [--serve N] [--migrate-to so|si]
 //          [--xml FILE] [--param NAME=VALUE] [--trace]
+//          [--backend mem|disk] [--pool-pages N] [--page-size N]
 //          [--metrics-out=FILE] [--trace-out=FILE]
 //   legodb --demo imdb|auction       # run on the built-in applications
 //
@@ -37,6 +38,7 @@
 // background thread *while* the serving loop is running, then prints the
 // migration report and the plan cache's stale-recompile count — a live
 // demonstration of the shadow-shred / verify / swap pipeline.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -109,6 +111,7 @@ int Usage() {
       "              [--metrics-out=FILE] [--trace-out=FILE] [--budget-ms N]\n"
       "              [--max-iterations N] [--max-candidates N]\n"
       "              [--failpoints SPEC]\n"
+      "              [--backend mem|disk] [--pool-pages N] [--page-size N]\n"
       "       legodb --demo imdb|auction [--explain] [--explain-search]\n"
       "              [--explain-analyze] [--serve N] [--trace]\n"
       "              [--metrics-out=FILE] [--trace-out=FILE]\n");
@@ -163,6 +166,9 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string xml_path;
   std::string migrate_to;  // "", "so", or "si"
+  bool disk = false;       // --backend disk: paged storage + buffer pool
+  long pool_pages = 256;
+  long page_size = 8192;
   std::map<std::string, Value> params;
   bool have_schema = false;
   std::string demo;
@@ -281,6 +287,25 @@ int main(int argc, char** argv) {
       } else {
         params[param->first] = param->second;
       }
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (!v) return Usage();
+      if (std::strcmp(v, "disk") == 0) {
+        disk = true;
+      } else if (std::strcmp(v, "mem") == 0) {
+        disk = false;
+      } else {
+        std::fprintf(stderr, "--backend expects mem or disk\n");
+        return Usage();
+      }
+    } else if (arg == "--pool-pages") {
+      const char* v = next();
+      if (!v) return Usage();
+      pool_pages = std::atol(v);
+    } else if (arg == "--page-size") {
+      const char* v = next();
+      if (!v) return Usage();
+      page_size = std::atol(v);
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -306,6 +331,13 @@ int main(int argc, char** argv) {
                    st_context.empty() ? "" : ": ", st.ToString().c_str());
       return kExitConfigError;
     }
+  }
+
+  // On the disk backend the cost model prices page-granular IO, matching
+  // what the buffer pool will actually measure.
+  if (disk) {
+    engine.mutable_cost_params()->page_size =
+        static_cast<double>(std::max(512L, page_size));
   }
 
   if (demo == "imdb") {
@@ -411,7 +443,12 @@ int main(int argc, char** argv) {
       params.emplace("c1", Value::Str("person3"));
     }
 
-    store::Database db(result->mapping.catalog());
+    store::StorageOptions storage =
+        disk ? store::StorageOptions::Paged(
+                   static_cast<size_t>(std::max(512L, page_size)),
+                   static_cast<size_t>(std::max(1L, pool_pages)))
+             : store::StorageOptions::Memory();
+    store::Database db(result->mapping.catalog(), storage);
     Status st = store::ShredDocument(doc.value(), result->mapping, &db);
     if (st.ok()) st = db.PrewarmIndexes();
     if (!st.ok()) {
