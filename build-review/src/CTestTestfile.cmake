@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("xml")
+subdirs("xschema")
+subdirs("pschema")
+subdirs("relational")
+subdirs("mapping")
+subdirs("xquery")
+subdirs("optimizer")
+subdirs("translate")
+subdirs("storage")
+subdirs("engine")
+subdirs("serving")
+subdirs("core")
+subdirs("imdb")
+subdirs("auction")
